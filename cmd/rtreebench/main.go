@@ -1,0 +1,92 @@
+// Command rtreebench reproduces the paper's tables and figures.
+//
+// Usage:
+//
+//	rtreebench [-quick] [-seed N] [-batches N] [-batchsize N] [-csv] [ids...]
+//
+// With no ids it runs every registered experiment in order. Each
+// experiment prints its tables (aligned text, or CSV with -csv) followed
+// by notes relating the output to the paper's claims.
+//
+//	rtreebench table1            # model-vs-simulation validation
+//	rtreebench fig6 fig9         # the buffer-matters headline figures
+//	rtreebench -quick            # reduced sizes, ~seconds
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"rtreebuf/internal/experiments"
+)
+
+// writeCSVs stores every table of a report as a CSV file in dir,
+// creating it if needed.
+func writeCSVs(dir string, rep *experiments.Report) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for i := range rep.Tables {
+		path := filepath.Join(dir, fmt.Sprintf("%s_%d.csv", rep.ID, i))
+		if err := os.WriteFile(path, []byte(rep.Tables[i].CSV()), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func main() {
+	quick := flag.Bool("quick", false, "shrink data sizes and simulation lengths")
+	seed := flag.Uint64("seed", 0, "generator seed (0 = fixed default)")
+	batches := flag.Int("batches", 0, "simulation batches (0 = default 20; paper uses 20)")
+	batchSize := flag.Int("batchsize", 0, "queries per batch (0 = default 50000; paper uses 1000000)")
+	csv := flag.Bool("csv", false, "emit tables as CSV instead of aligned text")
+	outDir := flag.String("outdir", "", "also write each table as <outdir>/<experiment>_<n>.csv")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			title, _ := experiments.Title(id)
+			fmt.Printf("%-8s %s\n", id, title)
+		}
+		return
+	}
+
+	cfg := experiments.Config{
+		Quick:        *quick,
+		Seed:         *seed,
+		SimBatches:   *batches,
+		SimBatchSize: *batchSize,
+	}
+
+	ids := flag.Args()
+	if len(ids) == 0 {
+		ids = experiments.IDs()
+	}
+	for _, id := range ids {
+		start := time.Now()
+		rep, err := experiments.Run(id, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rtreebench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		if *csv {
+			for i := range rep.Tables {
+				fmt.Printf("# %s\n%s\n", rep.Tables[i].Name, rep.Tables[i].CSV())
+			}
+		} else {
+			fmt.Print(rep.Text())
+		}
+		if *outDir != "" {
+			if err := writeCSVs(*outDir, rep); err != nil {
+				fmt.Fprintf(os.Stderr, "rtreebench: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		fmt.Printf("[%s completed in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,103 @@
+// Command rtreequery drives a query workload against a persisted R-tree
+// through an LRU buffer pool and reports measured disk accesses per query
+// next to the cost model's prediction — the paper's claim, checkable on
+// any tree file produced by rtreeload.
+//
+// Usage:
+//
+//	datagen -set tiger -o tiger.ds
+//	rtreeload -in tiger.ds -alg hs -cap 100 -o tiger.rt
+//	rtreequery -tree tiger.rt -buffer 200 -qx 0.05 -qy 0.05 -n 20000
+//	rtreequery -tree tiger.rt -buffer 500 -pin 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand/v2"
+	"os"
+
+	"rtreebuf/internal/core"
+	"rtreebuf/internal/geom"
+	"rtreebuf/internal/storage"
+)
+
+func main() {
+	treePath := flag.String("tree", "", "page file produced by rtreeload (required)")
+	bufferPages := flag.Int("buffer", 200, "buffer pool capacity in pages")
+	qx := flag.Float64("qx", 0, "query width (0 = point queries)")
+	qy := flag.Float64("qy", 0, "query height (0 = point queries)")
+	n := flag.Int("n", 20000, "measured queries (a quarter as many again warm the buffer)")
+	pin := flag.Int("pin", 0, "pin the top N tree levels in the buffer")
+	seed := flag.Uint64("seed", 42, "workload seed")
+	flag.Parse()
+
+	if *treePath == "" {
+		fmt.Fprintln(os.Stderr, "rtreequery: -tree is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	dm, err := storage.OpenFile(*treePath)
+	fatalIf(err)
+	defer dm.Close()
+
+	paged, err := storage.OpenPagedTree(dm, *bufferPages)
+	fatalIf(err)
+	meta := paged.Meta()
+	fmt.Printf("tree:   %d items, %d pages, levels %v\n", meta.Items, meta.NumPages(), meta.Levels)
+	fmt.Printf("buffer: %d pages, pinning %d levels\n", *bufferPages, *pin)
+	if *pin > 0 {
+		fatalIf(paged.PinLevels(*pin))
+	}
+
+	// Model prediction needs the level MBRs: load the tree once in memory.
+	tree, err := storage.LoadTree(dm)
+	fatalIf(err)
+	qm, err := core.NewUniformQueries(*qx, *qy)
+	fatalIf(err)
+	pred := core.NewPredictor(tree.Levels(), qm)
+	predicted, err := pred.DiskAccessesPinned(*bufferPages, *pin)
+	fatalIf(err)
+
+	rng := rand.New(rand.NewPCG(*seed, *seed^0xabcdef))
+	warm := *n / 4
+	dm.ResetStats() // LoadTree read every page; measure only the workload
+	results := 0
+	for i := 0; i < warm+*n; i++ {
+		if i == warm {
+			paged.Pool().ResetStats()
+		}
+		cx := *qx + rng.Float64()*(1-*qx)
+		cy := *qy + rng.Float64()*(1-*qy)
+		hits, err := paged.SearchWindow(geom.Rect{
+			MinX: cx - *qx, MinY: cy - *qy, MaxX: cx, MaxY: cy,
+		})
+		fatalIf(err)
+		results += len(hits)
+	}
+	hits, misses, evictions := paged.Pool().Stats()
+	measured := float64(misses) / float64(*n)
+
+	fmt.Printf("\nworkload: %d uniform %gx%g queries (+%d warm-up), avg %.1f results/query\n",
+		*n, *qx, *qy, warm, float64(results)/float64(warm+*n))
+	fmt.Printf("pool:     %d hits, %d misses, %d evictions (hit ratio %.2f%%)\n",
+		hits, misses, evictions, 100*paged.Pool().HitRatio())
+	fmt.Printf("\ndisk accesses per query: measured %.4f, model %.4f (%+.1f%%)\n",
+		measured, predicted, pct(predicted, measured))
+	fmt.Printf("bufferless EPT (nodes visited per query): %.4f\n", pred.NodesVisited())
+}
+
+func pct(model, measured float64) float64 {
+	if measured == 0 {
+		return 0
+	}
+	return 100 * (model - measured) / measured
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rtreequery: %v\n", err)
+		os.Exit(1)
+	}
+}

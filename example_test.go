@@ -1,0 +1,79 @@
+package rtreebuf_test
+
+import (
+	"fmt"
+
+	"rtreebuf"
+)
+
+// Example demonstrates the paper's core loop: load an R-tree, then ask
+// the buffer-aware cost model for the disk accesses a query workload will
+// cost at different buffer sizes.
+func Example() {
+	// A 10x10 grid of small boxes.
+	var items []rtreebuf.Item
+	for y := 0; y < 10; y++ {
+		for x := 0; x < 10; x++ {
+			items = append(items, rtreebuf.Item{
+				Rect: rtreebuf.Rect{
+					MinX: float64(x) / 10, MinY: float64(y) / 10,
+					MaxX: float64(x)/10 + 0.05, MaxY: float64(y)/10 + 0.05,
+				},
+				ID: int64(y*10 + x),
+			})
+		}
+	}
+	tree, err := rtreebuf.Load(rtreebuf.HilbertSort, rtreebuf.Params{MaxEntries: 10}, items)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("items=%d nodes=%d levels=%d\n", tree.Len(), tree.NodeCount(), tree.Height())
+
+	hits := tree.SearchWindow(rtreebuf.Rect{MinX: 0, MinY: 0, MaxX: 0.2, MaxY: 0.2})
+	fmt.Printf("window hits=%d\n", len(hits))
+
+	qm, err := rtreebuf.NewUniformQueries(0, 0) // point queries
+	if err != nil {
+		panic(err)
+	}
+	pred := rtreebuf.NewPredictor(tree.Levels(), qm)
+	fmt.Printf("EPT=%.3f\n", pred.NodesVisited())
+	fmt.Printf("EDT(B=11)=%.3f\n", pred.DiskAccesses(11)) // whole tree fits
+	// Output:
+	// items=100 nodes=11 levels=2
+	// window hits=9
+	// EPT=1.948
+	// EDT(B=11)=0.000
+}
+
+// Example_pinning shows the Section 5.5 question — how many levels to
+// pin — answered with the model.
+func Example_pinning() {
+	var items []rtreebuf.Item
+	for i := 0; i < 10000; i++ {
+		x := float64(i%100) / 100
+		y := float64(i/100) / 100
+		items = append(items, rtreebuf.Item{
+			Rect: rtreebuf.Rect{MinX: x, MinY: y, MaxX: x + 0.005, MaxY: y + 0.005},
+			ID:   int64(i),
+		})
+	}
+	tree, err := rtreebuf.Load(rtreebuf.HilbertSort, rtreebuf.Params{MaxEntries: 25}, items)
+	if err != nil {
+		panic(err)
+	}
+	qm, _ := rtreebuf.NewUniformQueries(0, 0)
+	pred := rtreebuf.NewPredictor(tree.Levels(), qm)
+	const buffer = 40
+	for pin := 0; pin <= pred.MaxPinnableLevels(buffer); pin++ {
+		edt, err := pred.DiskAccessesPinned(buffer, pin)
+		if err != nil {
+			break
+		}
+		fmt.Printf("pin %d levels (%d pages): EDT=%.3f\n", pin, pred.PinnedPages(pin), edt)
+	}
+	// Output:
+	// pin 0 levels (0 pages): EDT=1.388
+	// pin 1 levels (1 pages): EDT=1.388
+	// pin 2 levels (17 pages): EDT=1.168
+}

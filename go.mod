@@ -1,0 +1,3 @@
+module rtreebuf
+
+go 1.22

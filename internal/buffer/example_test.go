@@ -1,0 +1,44 @@
+package buffer_test
+
+import (
+	"fmt"
+
+	"rtreebuf/internal/buffer"
+)
+
+// ExampleLRU replays the classic capacity-2 reference trace.
+func ExampleLRU() {
+	l := buffer.NewLRU(2, 10)
+	for _, page := range []int{1, 2, 1, 3, 2} {
+		if l.Access(page) {
+			fmt.Printf("page %d: hit\n", page)
+		} else {
+			fmt.Printf("page %d: miss\n", page)
+		}
+	}
+	hits, misses, evictions := l.Stats()
+	fmt.Printf("hits=%d misses=%d evictions=%d\n", hits, misses, evictions)
+	// Output:
+	// page 1: miss
+	// page 2: miss
+	// page 1: hit
+	// page 3: miss
+	// page 2: miss
+	// hits=1 misses=4 evictions=2
+}
+
+// ExampleLRU_pinning shows the paper's Section 5.5 mechanism: pinned
+// pages never leave the buffer, at the cost of capacity for the rest.
+func ExampleLRU_pinning() {
+	l := buffer.NewLRU(2, 10)
+	if err := l.Pin(7); err != nil {
+		panic(err)
+	}
+	l.Access(1)
+	l.Access(2) // evicts 1 — page 7 is immune
+	fmt.Println("7 resident:", l.Contains(7))
+	fmt.Println("1 resident:", l.Contains(1))
+	// Output:
+	// 7 resident: true
+	// 1 resident: false
+}

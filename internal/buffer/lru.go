@@ -1,0 +1,224 @@
+// Package buffer implements the buffering mechanism under study: an LRU
+// page buffer with optional pinning of pages (e.g. the top levels of an
+// R-tree, Section 5.5 of the paper). The core LRU is specialized for dense
+// integer page numbers, which both the validation simulator and the real
+// page pool use; Pool layers it over a storage.DiskManager to serve actual
+// page contents with hit/miss accounting.
+package buffer
+
+import "fmt"
+
+// LRU is a fixed-capacity least-recently-used cache over dense page
+// numbers 0..numPages-1. It is implemented with slice-backed intrusive
+// prev/next links, so Access is O(1) with no allocation — the validation
+// simulator calls it hundreds of millions of times.
+//
+// Pages can be pinned: a pinned page is always resident, never evicted,
+// and counts against capacity. Pinning a non-resident page faults it in.
+type LRU struct {
+	capacity int
+	numPages int
+
+	prev, next []int32 // intrusive list links
+	head, tail int32   // most / least recently used, or sentinel
+	resident   []bool
+	pinned     []bool
+
+	size    int // resident pages, including pinned
+	nPinned int
+
+	hits, misses, evictions uint64
+
+	// OnEvict, if non-nil, is called with each page evicted, letting a
+	// page pool release the frame memory. It must not call back into the
+	// LRU.
+	OnEvict func(page int)
+}
+
+const sentinel = -1
+
+// NewLRU returns an empty cache of the given page capacity over page
+// numbers [0, numPages). capacity must be positive and numPages
+// non-negative; violations panic, as both always come from experiment
+// configuration bugs, not data.
+func NewLRU(capacity, numPages int) *LRU {
+	if capacity < 1 {
+		panic(fmt.Sprintf("buffer: LRU capacity %d < 1", capacity))
+	}
+	if numPages < 0 {
+		panic(fmt.Sprintf("buffer: negative page count %d", numPages))
+	}
+	l := &LRU{
+		capacity: capacity,
+		numPages: numPages,
+		prev:     make([]int32, numPages),
+		next:     make([]int32, numPages),
+		resident: make([]bool, numPages),
+		pinned:   make([]bool, numPages),
+		head:     sentinel,
+		tail:     sentinel,
+	}
+	return l
+}
+
+// Capacity returns the page capacity.
+func (l *LRU) Capacity() int { return l.capacity }
+
+// Len returns the number of resident pages (pinned included).
+func (l *LRU) Len() int { return l.size }
+
+// Full reports whether the cache is at capacity — the warm-up boundary of
+// the Bhide/Dan/Dias analysis.
+func (l *LRU) Full() bool { return l.size >= l.capacity }
+
+// Contains reports whether page is resident without touching recency.
+func (l *LRU) Contains(page int) bool { return l.resident[page] }
+
+// Access touches page, returning true on a hit and false on a miss (the
+// page is then faulted in, evicting the least recently used unpinned page
+// if needed). A miss models one disk access.
+func (l *LRU) Access(page int) bool {
+	if l.pinned[page] {
+		l.hits++
+		return true
+	}
+	if l.resident[page] {
+		l.hits++
+		l.moveToFront(int32(page))
+		return true
+	}
+	l.misses++
+	if l.size >= l.capacity {
+		l.evictLRU()
+	}
+	l.resident[page] = true
+	l.size++
+	l.pushFront(int32(page))
+	return false
+}
+
+// Pin makes page permanently resident. Pinning a non-resident page counts
+// as a miss (it must be read once). Pin fails if every unpinned slot is
+// exhausted — the caller asked to pin more pages than the buffer holds.
+func (l *LRU) Pin(page int) error {
+	if l.pinned[page] {
+		return nil
+	}
+	if l.nPinned >= l.capacity {
+		return fmt.Errorf("buffer: cannot pin page %d: all %d slots pinned", page, l.capacity)
+	}
+	if l.resident[page] {
+		l.unlink(int32(page))
+	} else {
+		l.misses++
+		if l.size >= l.capacity {
+			if err := l.tryEvict(); err != nil {
+				return err
+			}
+		}
+		l.resident[page] = true
+		l.size++
+	}
+	l.pinned[page] = true
+	l.nPinned++
+	return nil
+}
+
+// Unpin returns a pinned page to normal LRU management (as most recently
+// used). Unpinning an unpinned page is a no-op.
+func (l *LRU) Unpin(page int) {
+	if !l.pinned[page] {
+		return
+	}
+	l.pinned[page] = false
+	l.nPinned--
+	l.pushFront(int32(page))
+}
+
+// Remove drops page from the cache without invoking OnEvict or counting
+// an eviction. Used by pools to back out a fault whose source read failed.
+// Removing a pinned or absent page is a no-op returning false.
+func (l *LRU) Remove(page int) bool {
+	if l.pinned[page] || !l.resident[page] {
+		return false
+	}
+	l.unlink(int32(page))
+	l.resident[page] = false
+	l.size--
+	return true
+}
+
+// Stats returns cumulative hits, misses, and evictions.
+func (l *LRU) Stats() (hits, misses, evictions uint64) {
+	return l.hits, l.misses, l.evictions
+}
+
+// ResetStats zeroes the counters without disturbing cache contents —
+// used to discard warm-up before measuring steady state.
+func (l *LRU) ResetStats() { l.hits, l.misses, l.evictions = 0, 0, 0 }
+
+// HitRatio returns hits/(hits+misses), or 0 before any access.
+func (l *LRU) HitRatio() float64 {
+	total := l.hits + l.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(l.hits) / float64(total)
+}
+
+func (l *LRU) evictLRU() {
+	if err := l.tryEvict(); err != nil {
+		// Access only evicts when size >= capacity and unpinned pages
+		// exist; exhaustion here means internal bookkeeping broke.
+		panic(err)
+	}
+}
+
+func (l *LRU) tryEvict() error {
+	victim := l.tail
+	if victim == sentinel {
+		return fmt.Errorf("buffer: no evictable page (capacity %d, %d pinned)", l.capacity, l.nPinned)
+	}
+	l.unlink(victim)
+	l.resident[victim] = false
+	l.size--
+	l.evictions++
+	if l.OnEvict != nil {
+		l.OnEvict(int(victim))
+	}
+	return nil
+}
+
+func (l *LRU) pushFront(p int32) {
+	l.prev[p] = sentinel
+	l.next[p] = l.head
+	if l.head != sentinel {
+		l.prev[l.head] = p
+	}
+	l.head = p
+	if l.tail == sentinel {
+		l.tail = p
+	}
+}
+
+func (l *LRU) unlink(p int32) {
+	if l.prev[p] != sentinel {
+		l.next[l.prev[p]] = l.next[p]
+	} else {
+		l.head = l.next[p]
+	}
+	if l.next[p] != sentinel {
+		l.prev[l.next[p]] = l.prev[p]
+	} else {
+		l.tail = l.prev[p]
+	}
+	l.prev[p], l.next[p] = sentinel, sentinel
+}
+
+func (l *LRU) moveToFront(p int32) {
+	if l.head == p {
+		return
+	}
+	l.unlink(p)
+	l.pushFront(p)
+}

@@ -1,0 +1,115 @@
+package buffer
+
+import "fmt"
+
+// PageSource supplies page contents on buffer misses. It is satisfied by
+// the disk managers of internal/storage; declaring it here keeps the
+// dependency pointing from storage to buffer only at the call site.
+type PageSource interface {
+	// PageSize returns the fixed page size in bytes.
+	PageSize() int
+	// ReadPage fills dst (of PageSize bytes) with the page's contents.
+	ReadPage(page int, dst []byte) error
+}
+
+// Pool is an LRU page buffer serving page contents from a PageSource —
+// the database buffer pool the paper assumes around the R-tree. Every
+// miss costs one PageSource read, which is the "disk access" the paper's
+// EDT metric counts.
+//
+// Pool is intended for read-mostly index workloads: pages are immutable
+// once written (the R-tree is rebuilt or re-saved to change it), so there
+// is no dirty-page tracking or write-back.
+type Pool struct {
+	src    PageSource
+	lru    *LRU
+	frames [][]byte
+	free   [][]byte // recycled frames from evictions
+}
+
+// NewPool returns a pool of the given capacity (in pages) over pages
+// [0, numPages) of src.
+func NewPool(src PageSource, capacity, numPages int) *Pool {
+	p := &Pool{
+		src:    src,
+		lru:    NewLRU(capacity, numPages),
+		frames: make([][]byte, numPages),
+	}
+	p.lru.OnEvict = func(page int) {
+		p.free = append(p.free, p.frames[page])
+		p.frames[page] = nil
+	}
+	return p
+}
+
+// Get returns the contents of page, reading it from the source on a miss.
+// The returned slice aliases the buffer frame: it is valid until the page
+// is evicted and must not be modified.
+func (p *Pool) Get(page int) ([]byte, error) {
+	if page < 0 || page >= len(p.frames) {
+		return nil, fmt.Errorf("buffer: page %d outside [0,%d)", page, len(p.frames))
+	}
+	if p.lru.Access(page) {
+		return p.frames[page], nil
+	}
+	frame := p.takeFrame()
+	if err := p.src.ReadPage(page, frame); err != nil {
+		// Back out the fault so a failed read never leaves a garbage
+		// frame resident.
+		p.lru.Remove(page)
+		p.free = append(p.free, frame)
+		return nil, fmt.Errorf("buffer: reading page %d: %w", page, err)
+	}
+	p.frames[page] = frame
+	return frame, nil
+}
+
+func (p *Pool) takeFrame() []byte {
+	if n := len(p.free); n > 0 {
+		f := p.free[n-1]
+		p.free = p.free[:n-1]
+		return f
+	}
+	return make([]byte, p.src.PageSize())
+}
+
+// Pin makes page permanently resident (reading it if absent).
+func (p *Pool) Pin(page int) error {
+	if p.lru.pinned[page] {
+		return nil
+	}
+	resident := p.lru.Contains(page)
+	if err := p.lru.Pin(page); err != nil {
+		return err
+	}
+	if !resident {
+		frame := p.takeFrame()
+		if err := p.src.ReadPage(page, frame); err != nil {
+			p.lru.Unpin(page)
+			p.lru.Remove(page)
+			p.free = append(p.free, frame)
+			return fmt.Errorf("buffer: pinning page %d: %w", page, err)
+		}
+		p.frames[page] = frame
+	}
+	return nil
+}
+
+// Unpin returns a pinned page to LRU management.
+func (p *Pool) Unpin(page int) { p.lru.Unpin(page) }
+
+// Stats returns cumulative hits, misses, and evictions. Misses equal the
+// number of source reads issued.
+func (p *Pool) Stats() (hits, misses, evictions uint64) { return p.lru.Stats() }
+
+// ResetStats zeroes the counters without disturbing contents.
+func (p *Pool) ResetStats() { p.lru.ResetStats() }
+
+// HitRatio returns the cumulative hit ratio.
+func (p *Pool) HitRatio() float64 { return p.lru.HitRatio() }
+
+// Capacity returns the pool capacity in pages.
+func (p *Pool) Capacity() int { return p.lru.Capacity() }
+
+// Resident returns the number of pages currently buffered.
+func (p *Pool) Resident() int { return p.lru.Len() }

@@ -1,0 +1,70 @@
+package buffer
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property (testing/quick): for arbitrary access traces, the intrusive
+// LRU matches the reference implementation hit for hit, never exceeds
+// capacity, and its counters add up.
+func TestQuickLRUMatchesReference(t *testing.T) {
+	f := func(trace []uint16, capSeed, pageSeed uint8) bool {
+		capacity := 1 + int(capSeed%16)
+		numPages := capacity + 1 + int(pageSeed%64)
+		l := NewLRU(capacity, numPages)
+		ref := newRefLRU(capacity)
+		var accesses uint64
+		for _, raw := range trace {
+			p := int(raw) % numPages
+			if l.Access(p) != ref.access(p) {
+				return false
+			}
+			accesses++
+			if l.Len() > capacity {
+				return false
+			}
+		}
+		hits, misses, _ := l.Stats()
+		return hits+misses == accesses
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: pinning any subset of pages never changes the hit/miss
+// outcome for the pinned pages (always hits after the pin), and unpinned
+// behaviour still respects capacity.
+func TestQuickLRUPinnedAlwaysHit(t *testing.T) {
+	f := func(trace []uint16, pinned []uint8, capSeed uint8) bool {
+		capacity := 4 + int(capSeed%16)
+		const numPages = 128
+		l := NewLRU(capacity, numPages)
+		pinSet := map[int]bool{}
+		for _, p := range pinned {
+			page := int(p) % numPages
+			if len(pinSet) >= capacity-2 { // leave room for regular traffic
+				break
+			}
+			if l.Pin(page) != nil {
+				return false
+			}
+			pinSet[page] = true
+		}
+		for _, raw := range trace {
+			p := int(raw) % numPages
+			hit := l.Access(p)
+			if pinSet[p] && !hit {
+				return false
+			}
+			if l.Len() > capacity {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

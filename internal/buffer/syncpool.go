@@ -1,0 +1,94 @@
+package buffer
+
+import "sync"
+
+// SyncPool is a mutex-guarded Pool for concurrent readers. The paper's
+// experiments are single-threaded, but a database serving the query
+// workloads it models is not; SyncPool lets multiple goroutines share one
+// buffer (and its statistics) safely.
+//
+// Get copies the frame out under the lock instead of returning an alias:
+// an aliased frame could be evicted and recycled by a concurrent miss
+// while the caller still reads it. The copy costs one page-size memcpy
+// per access — the honest price of a shared buffer without page latches;
+// callers that need zero-copy should shard trees across per-goroutine
+// Pools instead.
+type SyncPool struct {
+	mu   sync.Mutex
+	pool *Pool
+}
+
+// NewSyncPool wraps src in a thread-safe pool of the given capacity.
+func NewSyncPool(src PageSource, capacity, numPages int) *SyncPool {
+	return &SyncPool{pool: NewPool(src, capacity, numPages)}
+}
+
+// Get returns a copy of the page contents, faulting it in on a miss.
+// The returned slice is owned by the caller.
+func (s *SyncPool) Get(page int) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	frame, err := s.pool.Get(page)
+	if err != nil {
+		return nil, err
+	}
+	return append([]byte(nil), frame...), nil
+}
+
+// View invokes f with the buffer frame under the pool lock — zero-copy
+// access for callers that only need to read briefly. f must not retain
+// the slice or call back into the pool.
+func (s *SyncPool) View(page int, f func([]byte) error) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	frame, err := s.pool.Get(page)
+	if err != nil {
+		return err
+	}
+	return f(frame)
+}
+
+// Pin makes page permanently resident.
+func (s *SyncPool) Pin(page int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pool.Pin(page)
+}
+
+// Unpin returns a pinned page to LRU management.
+func (s *SyncPool) Unpin(page int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pool.Unpin(page)
+}
+
+// Stats returns cumulative hits, misses, and evictions.
+func (s *SyncPool) Stats() (hits, misses, evictions uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pool.Stats()
+}
+
+// ResetStats zeroes the counters.
+func (s *SyncPool) ResetStats() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pool.ResetStats()
+}
+
+// HitRatio returns the cumulative hit ratio.
+func (s *SyncPool) HitRatio() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pool.HitRatio()
+}
+
+// Capacity returns the pool capacity in pages.
+func (s *SyncPool) Capacity() int { return s.pool.Capacity() }
+
+// Resident returns the number of buffered pages.
+func (s *SyncPool) Resident() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pool.Resident()
+}

@@ -1,0 +1,113 @@
+package buffer
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestSyncPoolBasics(t *testing.T) {
+	src := &fakeSource{pageSize: 32, numPages: 20}
+	p := NewSyncPool(src, 4, 20)
+	frame, err := p.Get(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frame[0] != 7 {
+		t.Fatalf("content = %d", frame[0])
+	}
+	// The returned slice is a copy: mutating it must not poison the pool.
+	frame[0] = 99
+	again, err := p.Get(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again[0] != 7 {
+		t.Error("caller mutation leaked into the buffer")
+	}
+	hits, misses, _ := p.Stats()
+	if hits != 1 || misses != 1 {
+		t.Errorf("stats = %d/%d", hits, misses)
+	}
+	if p.Capacity() != 4 || p.Resident() != 1 {
+		t.Errorf("capacity/resident = %d/%d", p.Capacity(), p.Resident())
+	}
+}
+
+func TestSyncPoolView(t *testing.T) {
+	src := &fakeSource{pageSize: 32, numPages: 20}
+	p := NewSyncPool(src, 4, 20)
+	called := false
+	err := p.View(3, func(frame []byte) error {
+		called = true
+		if frame[0] != 3 {
+			t.Errorf("frame content %d", frame[0])
+		}
+		return nil
+	})
+	if err != nil || !called {
+		t.Fatalf("View: %v, called=%v", err, called)
+	}
+	wantErr := errors.New("sentinel")
+	if err := p.View(3, func([]byte) error { return wantErr }); !errors.Is(err, wantErr) {
+		t.Errorf("View error = %v", err)
+	}
+}
+
+func TestSyncPoolPinning(t *testing.T) {
+	src := &fakeSource{pageSize: 32, numPages: 20}
+	p := NewSyncPool(src, 2, 20)
+	if err := p.Pin(5); err != nil {
+		t.Fatal(err)
+	}
+	p.Get(1)
+	p.Get(2)
+	reads := src.reads
+	if _, err := p.Get(5); err != nil {
+		t.Fatal(err)
+	}
+	if src.reads != reads {
+		t.Error("pinned page re-read")
+	}
+	p.Unpin(5)
+	p.ResetStats()
+	if h, m, _ := p.Stats(); h != 0 || m != 0 {
+		t.Error("ResetStats failed")
+	}
+}
+
+// Hammer the pool from many goroutines; run with -race in CI. Content
+// integrity is checked on every read.
+func TestSyncPoolConcurrent(t *testing.T) {
+	src := &fakeSource{pageSize: 64, numPages: 50}
+	p := NewSyncPool(src, 8, 50)
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				page := (g*31 + i*17) % 50
+				frame, err := p.Get(page)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if frame[0] != byte(page) || frame[63] != byte(page) {
+					errs <- errors.New("corrupt frame under concurrency")
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	hits, misses, _ := p.Stats()
+	if hits+misses != 8*2000 {
+		t.Errorf("accounted %d of %d accesses", hits+misses, 8*2000)
+	}
+}

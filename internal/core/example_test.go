@@ -1,0 +1,83 @@
+package core_test
+
+import (
+	"fmt"
+
+	"rtreebuf/internal/core"
+	"rtreebuf/internal/geom"
+)
+
+// levels4x4 is a toy two-level geometry: a root covering the unit square
+// over a 4x4 leaf tiling.
+func levels4x4() [][]geom.Rect {
+	leaves := make([]geom.Rect, 0, 16)
+	for y := 0; y < 4; y++ {
+		for x := 0; x < 4; x++ {
+			leaves = append(leaves, geom.Rect{
+				MinX: float64(x) / 4, MinY: float64(y) / 4,
+				MaxX: float64(x+1) / 4, MaxY: float64(y+1) / 4,
+			})
+		}
+	}
+	return [][]geom.Rect{{geom.UnitSquare}, leaves}
+}
+
+// ExamplePredictor walks Equations 1, 5, and 6 of the paper on a toy
+// tree: EPT, the warm-up point N*, and steady-state disk accesses.
+func ExamplePredictor() {
+	qm, err := core.NewUniformQueries(0, 0) // uniform point queries
+	if err != nil {
+		panic(err)
+	}
+	pred := core.NewPredictor(levels4x4(), qm)
+
+	// Eq. 1: EPT(0,0) = sum of MBR areas = 1 (root) + 16/16 (leaves) = 2.
+	fmt.Printf("EPT = %.2f\n", pred.NodesVisited())
+	// Eq. 5/binary search: queries until a 5-page buffer fills.
+	fmt.Printf("N* (B=5) = %.0f\n", pred.WarmupQueries(5))
+	// Eq. 6: steady-state disk accesses per query.
+	fmt.Printf("EDT (B=5) = %.4f\n", pred.DiskAccesses(5))
+	fmt.Printf("EDT (B=17) = %.4f\n", pred.DiskAccesses(17)) // whole tree
+	// Output:
+	// EPT = 2.00
+	// N* (B=5) = 5
+	// EDT (B=5) = 0.7242
+	// EDT (B=17) = 0.0000
+}
+
+// ExampleUniformQueries shows the boundary correction of Section 3.1:
+// near the data-space edge the naive extended-area probability would
+// exceed 1; the corrected one cannot.
+func ExampleUniformQueries() {
+	big, err := core.NewUniformQueries(0.9, 0.9)
+	if err != nil {
+		panic(err)
+	}
+	corner := geom.Rect{MinX: 0, MinY: 0, MaxX: 0.2, MaxY: 0.2}
+	naive := core.KamelFaloutsosQueries{QX: 0.9, QY: 0.9}
+	fmt.Printf("corrected: %.2f\n", big.AccessProb(corner))
+	fmt.Printf("uncorrected (capped): %.2f, raw would be %.2f\n",
+		naive.AccessProb(corner), (0.2+0.9)*(0.2+0.9))
+	// Output:
+	// corrected: 1.00
+	// uncorrected (capped): 1.00, raw would be 1.21
+}
+
+// ExampleAnalyticalPredictor predicts cost with no tree at all — data
+// cardinality, fanout, and density are enough (Theodoridis–Sellis-style).
+func ExampleAnalyticalPredictor() {
+	ap, err := core.NewAnalyticalPredictor(core.AnalyticalParams{
+		N: 100000, Fanout: 100, Density: 0, // 100k points
+	}, 0.1, 0.1)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("predicted nodes: %d\n", ap.NodeCount())
+	fmt.Printf("EPT: %.1f\n", ap.NodesVisited())
+	fmt.Println("EDT falls with buffer:",
+		ap.DiskAccesses(500) < ap.DiskAccesses(50))
+	// Output:
+	// predicted nodes: 1011
+	// EPT: 19.2
+	// EDT falls with buffer: true
+}

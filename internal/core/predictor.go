@@ -1,0 +1,169 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"rtreebuf/internal/geom"
+)
+
+// Predictor bundles a tree geometry with evaluated access probabilities so
+// that predictions for many buffer sizes and pinning configurations reuse
+// the expensive probability pass. It is the type most callers want.
+type Predictor struct {
+	levels [][]geom.Rect
+	probs  [][]float64
+	flat   []float64
+}
+
+// NewPredictor evaluates qm over the tree geometry (levels of node MBRs,
+// root first — e.g. from rtree.Tree.Levels).
+func NewPredictor(levels [][]geom.Rect, qm QueryModel) *Predictor {
+	p := &Predictor{
+		levels: levels,
+		probs:  AccessProbs(levels, qm),
+	}
+	for _, lvl := range p.probs {
+		p.flat = append(p.flat, lvl...)
+	}
+	return p
+}
+
+// NodeCount returns M, the total number of nodes.
+func (p *Predictor) NodeCount() int { return len(p.flat) }
+
+// LevelCount returns the number of tree levels H+1.
+func (p *Predictor) LevelCount() int { return len(p.levels) }
+
+// NodesPerLevel returns the per-level node counts M_i, root first.
+func (p *Predictor) NodesPerLevel() []int {
+	out := make([]int, len(p.levels))
+	for i, lvl := range p.levels {
+		out[i] = len(lvl)
+	}
+	return out
+}
+
+// Probs returns the per-level access probabilities (shared slice; callers
+// must not mutate).
+func (p *Predictor) Probs() [][]float64 { return p.probs }
+
+// NodesVisited returns EPT, the expected number of node accesses per query
+// — the bufferless metric the paper argues against using alone.
+func (p *Predictor) NodesVisited() float64 {
+	var s float64
+	for _, a := range p.flat {
+		s += a
+	}
+	return s
+}
+
+// WarmupQueries returns N* for the given buffer size (+Inf when the buffer
+// holds every reachable node).
+func (p *Predictor) WarmupQueries(bufferSize int) float64 {
+	return WarmupQueries(p.flat, bufferSize)
+}
+
+// DiskAccesses returns EDT, the expected disk accesses per query at steady
+// state with an LRU buffer of the given page capacity.
+func (p *Predictor) DiskAccesses(bufferSize int) float64 {
+	return DiskAccesses(p.flat, bufferSize)
+}
+
+// PinnedPages returns the number of pages occupied by pinning the top
+// pinLevels levels (levels 0..pinLevels-1).
+func (p *Predictor) PinnedPages(pinLevels int) int {
+	n := 0
+	for i := 0; i < pinLevels && i < len(p.levels); i++ {
+		n += len(p.levels[i])
+	}
+	return n
+}
+
+// MaxPinnableLevels returns the largest number of top levels whose total
+// page count fits in a buffer of the given size.
+func (p *Predictor) MaxPinnableLevels(bufferSize int) int {
+	total, lvl := 0, 0
+	for lvl < len(p.levels) {
+		total += len(p.levels[lvl])
+		if total > bufferSize {
+			return lvl
+		}
+		lvl++
+	}
+	return lvl
+}
+
+// DiskAccessesPinned returns EDT when the top pinLevels levels are pinned
+// in the buffer. Following Section 3.3, the pinned pages are subtracted
+// from the buffer and the pinned levels are omitted from the model: pinned
+// nodes never cause disk accesses at steady state, and the remaining
+// levels compete for the remaining B - P buffer pages. pinLevels = 0
+// reduces to DiskAccesses. An error is returned when the pinned levels do
+// not fit in the buffer.
+func (p *Predictor) DiskAccessesPinned(bufferSize, pinLevels int) (float64, error) {
+	if pinLevels < 0 || pinLevels > len(p.levels) {
+		return 0, fmt.Errorf("core: pinLevels %d outside [0,%d]", pinLevels, len(p.levels))
+	}
+	pinned := p.PinnedPages(pinLevels)
+	if pinned > bufferSize {
+		return 0, fmt.Errorf("core: pinning %d levels needs %d pages > buffer %d",
+			pinLevels, pinned, bufferSize)
+	}
+	var rest []float64
+	for i := pinLevels; i < len(p.probs); i++ {
+		rest = append(rest, p.probs[i]...)
+	}
+	return DiskAccesses(rest, bufferSize-pinned), nil
+}
+
+// PinningImprovement returns the relative reduction in disk accesses from
+// pinning pinLevels levels versus plain LRU with the same buffer:
+// (EDT_unpinned - EDT_pinned) / EDT_unpinned. Zero means no benefit. An
+// error is returned when pinning is infeasible.
+func (p *Predictor) PinningImprovement(bufferSize, pinLevels int) (float64, error) {
+	base := p.DiskAccesses(bufferSize)
+	pinned, err := p.DiskAccessesPinned(bufferSize, pinLevels)
+	if err != nil {
+		return 0, err
+	}
+	if base == 0 {
+		return 0, nil
+	}
+	return (base - pinned) / base, nil
+}
+
+// BufferForTarget returns the smallest buffer size whose predicted EDT is
+// at most target disk accesses per query, searching [1, maxBuffer]. The
+// boolean reports whether the target is reachable within maxBuffer. This
+// is the "choosing a buffer size" use case of Section 5.3 turned into an
+// API: EDT is non-increasing in buffer size, so binary search applies.
+func (p *Predictor) BufferForTarget(target float64, maxBuffer int) (int, bool) {
+	if target < 0 || maxBuffer < 1 {
+		return 0, false
+	}
+	if p.DiskAccesses(maxBuffer) > target {
+		return 0, false
+	}
+	lo, hi := 1, maxBuffer
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		if p.DiskAccesses(mid) <= target {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo, true
+}
+
+// HitRatio returns the predicted steady-state buffer hit ratio
+// 1 - EDT/EPT for the given buffer size (0 when EPT is 0).
+func (p *Predictor) HitRatio(bufferSize int) float64 {
+	ept := p.NodesVisited()
+	if ept == 0 {
+		return 0
+	}
+	r := 1 - p.DiskAccesses(bufferSize)/ept
+	return math.Max(0, math.Min(1, r))
+}

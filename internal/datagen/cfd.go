@@ -1,0 +1,107 @@
+package datagen
+
+import (
+	"math"
+	"math/rand/v2"
+
+	"rtreebuf/internal/geom"
+)
+
+// CFDLikeSize is the size of the paper's CFD data set: 52,510 grid nodes.
+const CFDLikeSize = 52510
+
+// CFDLike generates a substitute for the paper's computational fluid
+// dynamics data set: the unstructured-grid nodes of a Boeing 737 wing
+// cross section with flaps out (Fig. 5). The original grid is not
+// available; the experiments exploit three properties of it, all
+// reproduced here:
+//
+//  1. Extreme density skew: nodes are dense where the flow solution
+//     changes rapidly (at the airfoil surfaces) and become exponentially
+//     sparser with distance, so under uniform queries a few "hot" nodes
+//     absorb most accesses while data-driven queries spread out (Fig. 8).
+//  2. Blank oval regions: the wing and flap interiors hold no grid nodes
+//     ("the blank ovalish areas are parts of the wing").
+//  3. A sparse far field covering the whole data space, producing a few
+//     very large, rarely useful MBRs.
+//
+// The geometry is a main airfoil element plus a deployed flap, both
+// modeled as ellipses. Points are sampled on each element's boundary and
+// pushed outward by a heavy-tailed (log-normal) radial distance; interior
+// points are rejected. About 2% of points form a uniform far field.
+// Output is normalized to the unit square.
+func CFDLike(n int, seed uint64) []geom.Point {
+	rng := newRNG(seed ^ 0xcfd)
+
+	type element struct {
+		cx, cy, rx, ry float64 // ellipse center and semi-axes
+		weight         float64 // share of boundary-layer points
+	}
+	elements := []element{
+		{cx: 0.44, cy: 0.52, rx: 0.170, ry: 0.034, weight: 0.72}, // main element
+		{cx: 0.66, cy: 0.44, rx: 0.055, ry: 0.011, weight: 0.28}, // flap
+	}
+
+	inside := func(p geom.Point) bool {
+		for _, e := range elements {
+			dx := (p.X - e.cx) / e.rx
+			dy := (p.Y - e.cy) / e.ry
+			if dx*dx+dy*dy < 1 {
+				return true
+			}
+		}
+		return false
+	}
+
+	out := make([]geom.Point, 0, n)
+	farField := n / 50 // ~2%
+	boundary := n - farField
+
+	for i := 0; i < farField; i++ {
+		p := geom.Point{X: rng.Float64(), Y: rng.Float64()}
+		if inside(p) {
+			i--
+			continue
+		}
+		out = append(out, p)
+	}
+
+	for len(out) < farField+boundary {
+		// Pick an element by weight.
+		e := elements[0]
+		if rng.Float64() >= elements[0].weight {
+			e = elements[1]
+		}
+		theta := rng.Float64() * 2 * math.Pi
+		bx := e.cx + e.rx*math.Cos(theta)
+		by := e.cy + e.ry*math.Sin(theta)
+		// Outward direction: gradient of the implicit ellipse function,
+		// normalized — denser sampling near the thin leading/trailing
+		// edges falls out naturally.
+		gx := math.Cos(theta) / e.rx
+		gy := math.Sin(theta) / e.ry
+		norm := math.Hypot(gx, gy)
+		gx, gy = gx/norm, gy/norm
+		// Heavy-tailed offset: log-normal, median ~0.004, occasionally
+		// reaching far into the field — grid spacing grows with distance.
+		d := 0.004 * math.Exp(1.3*normFloat(rng))
+		p := geom.Point{X: bx + gx*d, Y: by + gy*d}
+		if p.X < 0 || p.X > 1 || p.Y < 0 || p.Y > 1 || inside(p) {
+			continue
+		}
+		out = append(out, p)
+	}
+	return geom.NormalizePoints(out)
+}
+
+// normFloat returns a standard normal variate via Box–Muller; math/rand/v2
+// lacks NormFloat64 on *rand.Rand streams before Go 1.22's v2 API gained
+// it, and this keeps the dependency surface minimal.
+func normFloat(rng *rand.Rand) float64 {
+	u1 := rng.Float64()
+	for u1 == 0 {
+		u1 = rng.Float64()
+	}
+	u2 := rng.Float64()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}

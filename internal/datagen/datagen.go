@@ -1,0 +1,74 @@
+// Package datagen produces the data sets of Section 5.1 of the paper, all
+// normalized to the unit square and fully deterministic given a seed:
+//
+//   - SyntheticPoints: uniformly distributed points (paper: "Synthetic
+//     Point"), used for the pinning experiments.
+//   - SyntheticRegions: uniformly placed squares with side uniform in
+//     (0, rho], rho = 2*sqrt(0.25/10000), so 10,000 rectangles sum to
+//     about a quarter of the unit square (paper: "Synthetic Region").
+//   - TIGERLike: a substitute for the TIGER Long Beach road-segment set —
+//     see tiger.go for the substitution argument.
+//   - CFDLike: a substitute for the Boeing 737 wing cross-section CFD
+//     grid — see cfd.go.
+package datagen
+
+import (
+	"math"
+	"math/rand/v2"
+
+	"rtreebuf/internal/geom"
+	"rtreebuf/internal/rtree"
+)
+
+// RegionRho is the paper's maximum square side for the Synthetic Region
+// sets: 2*sqrt(0.25/10000), chosen so the areas of 10,000 squares sum to
+// roughly 0.25 (uniform side in (0,rho] has mean area rho^2/3... the paper
+// follows Kamel–Faloutsos' convention; we reproduce the stated constant).
+var RegionRho = 2 * math.Sqrt(0.25/10000)
+
+// newRNG returns the deterministic generator for a seed. Seed zero is a
+// valid, fixed stream.
+func newRNG(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, seed^0xd1342543de82ef95))
+}
+
+// SyntheticPoints returns n points uniformly distributed over the unit
+// square (the paper's Synthetic Point data).
+func SyntheticPoints(n int, seed uint64) []geom.Point {
+	rng := newRNG(seed)
+	out := make([]geom.Point, n)
+	for i := range out {
+		out[i] = geom.Point{X: rng.Float64(), Y: rng.Float64()}
+	}
+	return out
+}
+
+// SyntheticRegions returns n squares with side uniform in (0, RegionRho]
+// and centers placed so every square lies inside the unit square (the
+// paper's Synthetic Region data: for 10,000 rectangles total area is about
+// 0.25; for 100,000, about 2.5).
+func SyntheticRegions(n int, seed uint64) []geom.Rect {
+	rng := newRNG(seed)
+	out := make([]geom.Rect, n)
+	for i := range out {
+		side := rng.Float64() * RegionRho
+		cx := side/2 + rng.Float64()*(1-side)
+		cy := side/2 + rng.Float64()*(1-side)
+		out[i] = geom.RectAround(geom.Point{X: cx, Y: cy}, side, side)
+	}
+	return out
+}
+
+// Items wraps rectangles as R-tree items with their index as ID.
+func Items(rects []geom.Rect) []rtree.Item {
+	out := make([]rtree.Item, len(rects))
+	for i, r := range rects {
+		out[i] = rtree.Item{Rect: r, ID: int64(i)}
+	}
+	return out
+}
+
+// PointItems wraps points as degenerate-rectangle R-tree items.
+func PointItems(points []geom.Point) []rtree.Item {
+	return Items(geom.PointRects(points))
+}

@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"fmt"
+
+	"rtreebuf/internal/core"
+	"rtreebuf/internal/datagen"
+	"rtreebuf/internal/geom"
+	"rtreebuf/internal/pack"
+	"rtreebuf/internal/rtree"
+)
+
+// Config scales the experiments. The zero value reproduces the paper at
+// full data sizes with fast-but-sound simulation defaults; Quick shrinks
+// everything for unit tests and smoke benchmarks.
+type Config struct {
+	// Quick shrinks data sizes and simulation lengths by roughly an order
+	// of magnitude, for tests. Curve shapes survive; absolute values move.
+	Quick bool
+	// Seed drives every generator; zero is a fixed default so published
+	// outputs are reproducible.
+	Seed uint64
+	// SimBatches/SimBatchSize override the validation simulation effort
+	// (paper: 20 x 1,000,000). Zero selects 20 x 50,000 (Quick: 10 x 5,000).
+	SimBatches   int
+	SimBatchSize int
+}
+
+func (c Config) seed() uint64 {
+	if c.Seed == 0 {
+		return 1998 // year of the ICDE paper
+	}
+	return c.Seed
+}
+
+func (c Config) simBatches() int {
+	if c.SimBatches > 0 {
+		return c.SimBatches
+	}
+	if c.Quick {
+		return 10
+	}
+	return 20
+}
+
+func (c Config) simBatchSize() int {
+	if c.SimBatchSize > 0 {
+		return c.SimBatchSize
+	}
+	if c.Quick {
+		return 5000
+	}
+	return 50000
+}
+
+// scale shrinks a data-set size in Quick mode.
+func (c Config) scale(n int) int {
+	if c.Quick {
+		n /= 8
+		if n < 1000 {
+			n = 1000
+		}
+	}
+	return n
+}
+
+// tigerRects returns the TIGER-like data set at the paper's size.
+func (c Config) tigerRects() []geom.Rect {
+	return datagen.TIGERLike(c.scale(datagen.TIGERLikeSize), c.seed())
+}
+
+// cfdPoints returns the CFD-like data set at the paper's size.
+func (c Config) cfdPoints() []geom.Point {
+	return datagen.CFDLike(c.scale(datagen.CFDLikeSize), c.seed())
+}
+
+// buildTree loads items with alg at node capacity cap and validates the
+// result; every experiment goes through here so a structurally broken tree
+// can never produce a plausible-looking table.
+func buildTree(alg pack.Algorithm, items []rtree.Item, capacity int) (*rtree.Tree, error) {
+	t, err := pack.Load(alg, rtree.Params{MaxEntries: capacity}, items)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: loading %s: %w", alg, err)
+	}
+	if err := t.CheckInvariants(); err != nil {
+		return nil, fmt.Errorf("experiments: %s produced invalid tree: %w", alg, err)
+	}
+	return t, nil
+}
+
+// uniformPredictor builds a cost-model predictor for uniform qx x qy
+// queries over the tree.
+func uniformPredictor(t *rtree.Tree, qx, qy float64) (*core.Predictor, error) {
+	qm, err := core.NewUniformQueries(qx, qy)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewPredictor(t.Levels(), qm), nil
+}
+
+// dataDrivenPredictor builds a predictor for the data-driven query model
+// over the given data centers.
+func dataDrivenPredictor(t *rtree.Tree, qx, qy float64, centers []geom.Point) (*core.Predictor, error) {
+	qm, err := core.NewDataDrivenQueries(qx, qy, centers, 0)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewPredictor(t.Levels(), qm), nil
+}
+
+// itemsOf wraps rectangles as R-tree items (ID = index).
+func itemsOf(rects []geom.Rect) []rtree.Item { return datagen.Items(rects) }
+
+// paperAlgorithms returns the three loading algorithms the paper compares.
+func paperAlgorithms() []pack.Algorithm { return pack.PaperAlgorithms() }
+
+// algoLabel gives the paper's name for an algorithm.
+func algoLabel(alg pack.Algorithm) string {
+	switch alg {
+	case pack.TATQuadratic:
+		return "TAT"
+	case pack.TATLinear:
+		return "TAT-linear"
+	case pack.NearestX:
+		return "NX"
+	case pack.HilbertSort:
+		return "HS"
+	case pack.STR:
+		return "STR"
+	default:
+		return string(alg)
+	}
+}

@@ -1,0 +1,227 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func quickCfg() Config {
+	return Config{Quick: true, SimBatches: 5, SimBatchSize: 2000}
+}
+
+func TestRegistry(t *testing.T) {
+	ids := IDs()
+	want := []string{
+		"ext-clock", "ext-dimensions", "ext-knn", "ext-loading", "ext-locality", "ext-nodesize", "ext-staticlru", "ext-system", "ext-validation", "ext-warmup",
+		"fig10", "fig11", "fig5", "fig6", "fig7", "fig8", "fig9", "table1", "table2",
+	}
+	if len(ids) != len(want) {
+		t.Fatalf("IDs = %v", ids)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("IDs = %v, want %v", ids, want)
+		}
+	}
+	for _, id := range ids {
+		if title, ok := Title(id); !ok || title == "" {
+			t.Errorf("missing title for %s", id)
+		}
+	}
+	if _, ok := Title("nope"); ok {
+		t.Error("bogus title found")
+	}
+	if _, err := Run("nope", quickCfg()); err == nil {
+		t.Error("unknown experiment ran")
+	}
+}
+
+// Every experiment runs in Quick mode and yields well-formed tables.
+func TestAllExperimentsQuick(t *testing.T) {
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			rep, err := Run(id, quickCfg())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.ID != id {
+				t.Errorf("report ID = %q", rep.ID)
+			}
+			if len(rep.Tables) == 0 {
+				t.Fatal("no tables")
+			}
+			for _, tbl := range rep.Tables {
+				if len(tbl.Columns) == 0 || len(tbl.Rows) == 0 {
+					t.Fatalf("table %q empty", tbl.Name)
+				}
+				for _, row := range tbl.Rows {
+					if len(row) != len(tbl.Columns) {
+						t.Fatalf("table %q: row width %d, want %d", tbl.Name, len(row), len(tbl.Columns))
+					}
+				}
+				if !strings.Contains(tbl.Text(), tbl.Columns[0]) {
+					t.Error("Text() lost the header")
+				}
+				if lines := strings.Split(strings.TrimSpace(tbl.CSV()), "\n"); len(lines) != len(tbl.Rows)+1 {
+					t.Errorf("CSV has %d lines, want %d", len(lines), len(tbl.Rows)+1)
+				}
+			}
+			if rep.Text() == "" {
+				t.Error("empty report text")
+			}
+		})
+	}
+}
+
+// parseColumn extracts a numeric column from a table, skipping "-" cells.
+func parseColumn(t *testing.T, tbl Table, col string) []float64 {
+	t.Helper()
+	idx := -1
+	for i, c := range tbl.Columns {
+		if c == col {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		t.Fatalf("table %q lacks column %q (have %v)", tbl.Name, col, tbl.Columns)
+	}
+	var out []float64
+	for _, row := range tbl.Rows {
+		if row[idx] == "-" {
+			continue
+		}
+		s := strings.TrimSuffix(strings.TrimPrefix(row[idx], "+"), "%")
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			t.Fatalf("table %q col %q: %v", tbl.Name, col, err)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func nonIncreasing(xs []float64, tol float64) bool {
+	for i := 1; i < len(xs); i++ {
+		if xs[i] > xs[i-1]+tol {
+			return false
+		}
+	}
+	return true
+}
+
+func nonDecreasing(xs []float64, tol float64) bool {
+	for i := 1; i < len(xs); i++ {
+		if xs[i] < xs[i-1]-tol {
+			return false
+		}
+	}
+	return true
+}
+
+// The qualitative shapes the paper reports, checked on the quick configs.
+func TestFig6Shapes(t *testing.T) {
+	rep, err := Run("fig6", quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tbl := range rep.Tables {
+		for _, col := range []string{"TAT", "NX", "HS"} {
+			if !nonIncreasing(parseColumn(t, tbl, col), 1e-9) {
+				t.Errorf("%s/%s: disk accesses increase with buffer size", tbl.Name, col)
+			}
+		}
+	}
+}
+
+func TestFig9Shapes(t *testing.T) {
+	rep, err := Run("fig9", quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Disk accesses at fixed buffer grow with data size (the paper's
+	// point); check the large-buffer panel for HS (buffer=30 in quick
+	// mode, scaled with the smaller trees).
+	var buf300 *Table
+	for i := range rep.Tables {
+		if strings.Contains(rep.Tables[i].Name, "buffer=30") {
+			buf300 = &rep.Tables[i]
+		}
+	}
+	if buf300 == nil {
+		t.Fatal("fig9 missing large-buffer table")
+	}
+	hs := parseColumn(t, *buf300, "HS")
+	if !nonDecreasing(hs, 1e-9) {
+		t.Errorf("disk accesses at buffer 300 not growing with data size: %v", hs)
+	}
+	if hs[len(hs)-1] <= hs[0] {
+		t.Errorf("largest data set not more expensive than smallest: %v", hs)
+	}
+}
+
+func TestFig10PinningNeverHurts(t *testing.T) {
+	rep, err := Run("fig10", quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tbl := range rep.Tables {
+		p0 := parseColumn(t, tbl, "pin0")
+		for _, col := range []string{"pin1", "pin2", "pin3"} {
+			pk := parseColumn(t, tbl, col)
+			for i := range pk {
+				if i < len(p0) && pk[i] > p0[i]+1e-6 {
+					t.Errorf("%s: %s row %d (%g) worse than pin0 (%g)", tbl.Name, col, i, pk[i], p0[i])
+				}
+			}
+		}
+	}
+}
+
+func TestTable1ModelAccuracy(t *testing.T) {
+	rep, err := Run("table1", Config{Quick: true, SimBatches: 10, SimBatchSize: 10000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffs := parseColumn(t, rep.Tables[0], "diff")
+	for i, d := range diffs {
+		if d > 12 || d < -12 {
+			t.Errorf("row %d: model-vs-sim difference %.1f%% too large even for quick mode", i, d)
+		}
+	}
+}
+
+func TestTableTextAlignment(t *testing.T) {
+	tbl := Table{
+		Name:    "demo",
+		Columns: []string{"a", "bbbb"},
+	}
+	tbl.AddRow("xxxxxx", "1")
+	text := tbl.Text()
+	lines := strings.Split(strings.TrimRight(text, "\n"), "\n")
+	// header, separator, one row, plus the name line.
+	if len(lines) != 4 {
+		t.Fatalf("lines = %q", lines)
+	}
+	if !strings.HasPrefix(lines[0], "== demo") {
+		t.Errorf("name line = %q", lines[0])
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if F(1.23456) != "1.2346" {
+		t.Errorf("F = %q", F(1.23456))
+	}
+	if FPct(0.1234) != "+12.34%" {
+		t.Errorf("FPct = %q", FPct(0.1234))
+	}
+	if FPct(-0.5) != "-50.00%" {
+		t.Errorf("FPct = %q", FPct(-0.5))
+	}
+	if FInt(42) != "42" {
+		t.Errorf("FInt = %q", FInt(42))
+	}
+}

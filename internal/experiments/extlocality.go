@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"rtreebuf/internal/core"
+	"rtreebuf/internal/datagen"
+	"rtreebuf/internal/hilbert"
+	"rtreebuf/internal/pack"
+	"rtreebuf/internal/sim"
+)
+
+func init() {
+	register("ext-locality",
+		"Extension: query locality vs the independence assumption — Zipf-hot centers (model extends) and random-walk queries (model breaks, measurably)",
+		runExtLocality)
+}
+
+// runExtLocality probes the boundary of the paper's buffer model. The
+// model assumes independent queries; it extends cleanly to *skewed but
+// independent* selection (Zipf-weighted data-driven queries — Equation 4
+// with weights), and it deliberately cannot represent *temporally
+// correlated* queries (a random walk), where LRU exploits locality the
+// model does not see. Both effects are measured against the simulator.
+func runExtLocality(cfg Config) (*Report, error) {
+	points := datagen.SyntheticPoints(cfg.scale(table1DataSize), cfg.seed())
+	items := datagen.PointItems(points)
+	t, err := buildTree(pack.HilbertSort, items, table1NodeCap)
+	if err != nil {
+		return nil, err
+	}
+	levels := t.Levels()
+
+	// Zipf weights over centers ranked by Hilbert position: the hot
+	// region is spatially contiguous, like a popular neighborhood.
+	order := make([]int, len(points))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ka := hilbert.EncodePoint(hilbert.DefaultOrder, points[order[a]].X, points[order[a]].Y)
+		kb := hilbert.EncodePoint(hilbert.DefaultOrder, points[order[b]].X, points[order[b]].Y)
+		return ka < kb
+	})
+	ranked, err := core.ZipfWeights(len(points), 0.9)
+	if err != nil {
+		return nil, err
+	}
+	weights := make([]float64, len(points))
+	for rank, idx := range order {
+		weights[idx] = ranked[rank]
+	}
+
+	zipfQM, err := core.NewWeightedQueries(0, 0, points, weights)
+	if err != nil {
+		return nil, err
+	}
+	zipfW, err := sim.NewWeightedCenters(0, 0, points, weights)
+	if err != nil {
+		return nil, err
+	}
+	zipfPred := core.NewPredictor(levels, zipfQM)
+
+	uniQM, err := core.NewUniformQueries(0, 0)
+	if err != nil {
+		return nil, err
+	}
+	uniPred := core.NewPredictor(levels, uniQM)
+
+	rep := &Report{ID: "ext-locality", Title: "Query locality and the independence assumption"}
+
+	zipfTbl := Table{
+		Name:    "ext-locality zipf",
+		Caption: "Zipf(0.9)-weighted data-driven point queries: weighted Eq. 4 keeps the model accurate.",
+		Columns: []string{"buffer", "sim", "model", "diff"},
+	}
+	worstZipf := 0.0
+	for _, b := range []int{25, 50, 100, 200, 400} {
+		res, err := sim.Run(levels, zipfW, sim.Config{
+			BufferSize: b, Batches: cfg.simBatches(), BatchSize: cfg.simBatchSize(),
+			Seed: cfg.seed() + uint64(b),
+		})
+		if err != nil {
+			return nil, err
+		}
+		model := zipfPred.DiskAccesses(b)
+		diff := 0.0
+		if res.DiskPerQuery.Mean > 0 {
+			diff = (model - res.DiskPerQuery.Mean) / res.DiskPerQuery.Mean
+		}
+		if math.Abs(diff) > worstZipf && res.DiskPerQuery.Mean > 0.05 {
+			worstZipf = math.Abs(diff)
+		}
+		zipfTbl.AddRow(FInt(b), F(res.DiskPerQuery.Mean), F(model), FPct(diff))
+	}
+	rep.Tables = append(rep.Tables, zipfTbl)
+
+	walkTbl := Table{
+		Name:    "ext-locality random walk",
+		Caption: "Random-walk point queries vs the (independent) uniform model: LRU exploits temporal locality the model cannot see.",
+		Columns: []string{"step", "buffer", "sim", "uniform_model", "model_overestimates_by"},
+	}
+	for _, step := range []float64{0.02, 0.1, 0.5} {
+		for _, b := range []int{50, 200} {
+			walk, err := sim.NewRandomWalk(step)
+			if err != nil {
+				return nil, err
+			}
+			res, err := sim.Run(levels, walk, sim.Config{
+				BufferSize: b, Batches: cfg.simBatches(), BatchSize: cfg.simBatchSize(),
+				Seed: cfg.seed() + uint64(b) + uint64(step*1000),
+			})
+			if err != nil {
+				return nil, err
+			}
+			model := uniPred.DiskAccesses(b)
+			over := 0.0
+			if res.DiskPerQuery.Mean > 0 {
+				over = (model - res.DiskPerQuery.Mean) / res.DiskPerQuery.Mean
+			}
+			walkTbl.AddRow(F(step), FInt(b), F(res.DiskPerQuery.Mean), F(model), FPct(over))
+		}
+	}
+	rep.Tables = append(rep.Tables, walkTbl)
+
+	rep.Notes = append(rep.Notes,
+		fmt.Sprintf("Zipf-weighted queries: worst model disagreement %.1f%% — Equation 4 generalizes to weighted selection", 100*worstZipf),
+		"random walks: small steps leave successive queries in the same subtree, so measured disk accesses fall far below the model — the documented boundary of the independence assumption",
+		"as the step grows toward 0.5 the walk decorrelates and the model becomes accurate again")
+	return rep, nil
+}

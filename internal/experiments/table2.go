@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"rtreebuf/internal/datagen"
+	"rtreebuf/internal/pack"
+)
+
+func init() {
+	register("table2",
+		"Table 2: number of nodes per level, synthetic point data, node size 25 (the 4-level pinning trees)",
+		runTable2)
+}
+
+// Table2DataSizes are the synthetic point set sizes of the pinning study.
+var Table2DataSizes = []int{40000, 80000, 120000, 160000, 200000, 250000}
+
+// pinningNodeCap is the node size of the pinning experiments: 25 entries,
+// producing 4-level trees at these data sizes.
+const pinningNodeCap = 25
+
+func runTable2(cfg Config) (*Report, error) {
+	sizes := Table2DataSizes
+	if cfg.Quick {
+		sizes = []int{40000, 80000}
+	}
+	rep := &Report{ID: "table2", Title: "Nodes per level of the pinning-study trees (HS packing)"}
+	tbl := Table{
+		Name:    "table2",
+		Caption: "Level 0 is the root; packing fills nodes to capacity 25.",
+		Columns: []string{"points", "levels", "nodes_per_level(root..leaf)", "total"},
+	}
+	for _, n := range sizes {
+		points := datagen.SyntheticPoints(n, cfg.seed()+uint64(n))
+		t, err := buildTree(pack.HilbertSort, datagen.PointItems(points), pinningNodeCap)
+		if err != nil {
+			return nil, err
+		}
+		per := t.NodesPerLevel()
+		parts := make([]string, len(per))
+		total := 0
+		for i, c := range per {
+			parts[i] = FInt(c)
+			total += c
+		}
+		tbl.AddRow(FInt(n), FInt(len(per)), strings.Join(parts, "/"), FInt(total))
+		if !cfg.Quick && len(per) != 4 {
+			rep.Notes = append(rep.Notes, fmt.Sprintf(
+				"%d points produced a %d-level tree (paper's pinning trees all have 4 levels)", n, len(per)))
+		}
+	}
+	rep.Tables = append(rep.Tables, tbl)
+	return rep, nil
+}

@@ -1,0 +1,134 @@
+package geom
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+// Gap coverage for helpers introduced alongside the main API.
+
+func TestRectAround(t *testing.T) {
+	r := RectAround(Point{X: 0.5, Y: 0.5}, 0.2, 0.4)
+	if !r.AlmostEqual(rect(0.4, 0.3, 0.6, 0.7), 1e-15) {
+		t.Errorf("RectAround = %v", r)
+	}
+	if c := r.Center(); math.Abs(c.X-0.5)+math.Abs(c.Y-0.5) > 1e-15 {
+		t.Errorf("center moved: %v", c)
+	}
+	// Zero-size: a point rectangle.
+	if p := RectAround(Point{X: 0.1, Y: 0.2}, 0, 0); p.Area() != 0 || p.Center() != (Point{X: 0.1, Y: 0.2}) {
+		t.Errorf("degenerate RectAround = %v", p)
+	}
+}
+
+func TestTranslate(t *testing.T) {
+	r := rect(0.1, 0.2, 0.3, 0.4).Translate(0.5, -0.1)
+	if !r.AlmostEqual(rect(0.6, 0.1, 0.8, 0.3), 1e-15) {
+		t.Errorf("Translate = %v", r)
+	}
+	// Translation preserves area and margin.
+	orig := rect(0.1, 0.2, 0.3, 0.4)
+	if math.Abs(r.Area()-orig.Area()) > 1e-15 || math.Abs(r.Margin()-orig.Margin()) > 1e-15 {
+		t.Error("Translate changed size")
+	}
+}
+
+func TestScale(t *testing.T) {
+	r := rect(0.1, 0.2, 0.3, 0.4).Scale(2)
+	if !r.AlmostEqual(rect(0.2, 0.4, 0.6, 0.8), 1e-15) {
+		t.Errorf("Scale = %v", r)
+	}
+	if got, want := r.Area(), 4*rect(0.1, 0.2, 0.3, 0.4).Area(); math.Abs(got-want) > 1e-15 {
+		t.Errorf("scaled area %g, want %g", got, want)
+	}
+}
+
+func TestUnionPoint(t *testing.T) {
+	r := rect(0.2, 0.2, 0.4, 0.4)
+	grown := r.UnionPoint(Point{X: 0.9, Y: 0.1})
+	if !grown.Equal(rect(0.2, 0.1, 0.9, 0.4)) {
+		t.Errorf("UnionPoint = %v", grown)
+	}
+	// Interior point: unchanged.
+	if got := r.UnionPoint(Point{X: 0.3, Y: 0.3}); !got.Equal(r) {
+		t.Errorf("interior UnionPoint = %v", got)
+	}
+}
+
+func TestExpandNegative(t *testing.T) {
+	// Negative expansion shrinks; callers use it deliberately.
+	r := rect(0.2, 0.2, 0.8, 0.8).Expand(-0.1, -0.2)
+	if !r.AlmostEqual(rect(0.3, 0.4, 0.7, 0.6), 1e-15) {
+		t.Errorf("negative Expand = %v", r)
+	}
+}
+
+func TestContainsRect(t *testing.T) {
+	outer := rect(0.1, 0.1, 0.9, 0.9)
+	cases := []struct {
+		inner Rect
+		want  bool
+	}{
+		{rect(0.2, 0.2, 0.8, 0.8), true},
+		{outer, true},                    // self
+		{rect(0.1, 0.1, 0.1, 0.1), true}, // degenerate on boundary
+		{rect(0.05, 0.2, 0.8, 0.8), false},
+		{rect(0.2, 0.2, 0.95, 0.8), false},
+	}
+	for _, tc := range cases {
+		if got := outer.ContainsRect(tc.inner); got != tc.want {
+			t.Errorf("ContainsRect(%v) = %v", tc.inner, got)
+		}
+	}
+}
+
+func TestMBRPointsAndPanics(t *testing.T) {
+	pts := []Point{{X: 0.3, Y: 0.8}, {X: 0.1, Y: 0.9}, {X: 0.5, Y: 0.2}}
+	if got := MBRPoints(pts); !got.Equal(rect(0.1, 0.2, 0.5, 0.9)) {
+		t.Errorf("MBRPoints = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MBRPoints(nil) did not panic")
+		}
+	}()
+	MBRPoints(nil)
+}
+
+func TestNormalizeDegenerateRects(t *testing.T) {
+	// All rects share one x: the x axis collapses to 0.
+	in := []Rect{rect(5, 1, 5, 2), rect(5, 3, 5, 4)}
+	out := Normalize(in)
+	for _, r := range out {
+		if r.MinX != 0 || r.MaxX != 0 {
+			t.Errorf("degenerate x not collapsed: %v", r)
+		}
+	}
+	if out[1].MaxY != 1 {
+		t.Errorf("y not normalized: %v", out)
+	}
+}
+
+// Property: Clamp output is always inside bounds and idempotent.
+func TestClampProperties(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 8))
+	for i := 0; i < 2000; i++ {
+		r := Rect{
+			MinX: (rng.Float64() - 0.5) * 4,
+			MinY: (rng.Float64() - 0.5) * 4,
+			MaxX: (rng.Float64() - 0.5) * 4,
+			MaxY: (rng.Float64() - 0.5) * 4,
+		}
+		if !r.Valid() {
+			r = RectFromPoints(Point{X: r.MinX, Y: r.MinY}, Point{X: r.MaxX, Y: r.MaxY})
+		}
+		c := r.Clamp(UnitSquare)
+		if !c.Valid() || !UnitSquare.ContainsRect(c) {
+			t.Fatalf("Clamp(%v) = %v escapes", r, c)
+		}
+		if again := c.Clamp(UnitSquare); !again.Equal(c) {
+			t.Fatalf("Clamp not idempotent for %v", r)
+		}
+	}
+}

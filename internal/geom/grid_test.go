@@ -1,0 +1,153 @@
+package geom
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func bruteCount(points []Point, r Rect) int {
+	n := 0
+	for _, p := range points {
+		if r.ContainsPoint(p) {
+			n++
+		}
+	}
+	return n
+}
+
+func randPoints(rng *rand.Rand, n int) []Point {
+	out := make([]Point, n)
+	for i := range out {
+		out[i] = Point{rng.Float64(), rng.Float64()}
+	}
+	return out
+}
+
+func TestGridCounterMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewPCG(21, 22))
+	for _, res := range []int{1, 3, 16, 64, 256} {
+		points := randPoints(rng, 3000)
+		g := NewGridCounter(points, res)
+		if g.Len() != len(points) {
+			t.Fatalf("res %d: Len = %d", res, g.Len())
+		}
+		for i := 0; i < 300; i++ {
+			r := randRect(rng)
+			if got, want := g.Count(r), bruteCount(points, r); got != want {
+				t.Fatalf("res %d: Count(%v) = %d, want %d", res, r, got, want)
+			}
+		}
+	}
+}
+
+func TestGridCounterClusteredPoints(t *testing.T) {
+	// Heavily clustered points stress boundary-cell handling: most mass in
+	// very few cells.
+	rng := rand.New(rand.NewPCG(5, 9))
+	points := make([]Point, 0, 4000)
+	for i := 0; i < 4000; i++ {
+		points = append(points, Point{
+			X: 0.5 + 0.01*(rng.Float64()-0.5),
+			Y: 0.5 + 0.01*(rng.Float64()-0.5),
+		})
+	}
+	g := NewGridCounter(points, 128)
+	for i := 0; i < 300; i++ {
+		c := Point{0.5 + 0.02*(rng.Float64()-0.5), 0.5 + 0.02*(rng.Float64()-0.5)}
+		r := RectAround(c, rng.Float64()*0.02, rng.Float64()*0.02)
+		if got, want := g.Count(r), bruteCount(points, r); got != want {
+			t.Fatalf("Count(%v) = %d, want %d", r, got, want)
+		}
+	}
+}
+
+func TestGridCounterEdgeQueries(t *testing.T) {
+	points := []Point{{0, 0}, {1, 1}, {0.5, 0.5}, {0, 1}, {1, 0}}
+	g := NewGridCounter(points, 8)
+	cases := []struct {
+		r    Rect
+		want int
+	}{
+		{UnitSquare, 5},
+		{Rect{0, 0, 0, 0}, 1}, // exact corner point
+		{Rect{1, 1, 1, 1}, 1}, // far corner
+		{Rect{0.5, 0.5, 0.5, 0.5}, 1},
+		{Rect{-5, -5, 5, 5}, 5}, // query exceeding bounds
+		{Rect{2, 2, 3, 3}, 0},   // fully outside
+		{Rect{0, 0, 0.49, 0.49}, 1},
+	}
+	for _, tc := range cases {
+		if got := g.Count(tc.r); got != tc.want {
+			t.Errorf("Count(%v) = %d, want %d", tc.r, got, tc.want)
+		}
+	}
+}
+
+func TestGridCounterInvalidAndEmpty(t *testing.T) {
+	g := NewGridCounter(nil, 4)
+	if g.Count(UnitSquare) != 0 || g.Fraction(UnitSquare) != 0 {
+		t.Error("empty counter returned non-zero")
+	}
+	g2 := NewGridCounter([]Point{{0.5, 0.5}}, 4)
+	if g2.Count(Rect{MinX: 1, MinY: 1, MaxX: 0, MaxY: 0}) != 0 {
+		t.Error("invalid rect counted points")
+	}
+}
+
+func TestGridCounterIdenticalPoints(t *testing.T) {
+	points := make([]Point, 100)
+	for i := range points {
+		points[i] = Point{0.3, 0.7}
+	}
+	g := NewGridCounter(points, 16)
+	if got := g.Count(RectAround(Point{0.3, 0.7}, 0.01, 0.01)); got != 100 {
+		t.Errorf("Count = %d, want 100", got)
+	}
+	if got := g.Fraction(Rect{0, 0, 0.29, 1}); got != 0 {
+		t.Errorf("Fraction left of cluster = %g", got)
+	}
+}
+
+func TestGridCounterFraction(t *testing.T) {
+	points := []Point{{0.1, 0.1}, {0.2, 0.2}, {0.9, 0.9}, {0.95, 0.95}}
+	g := NewGridCounter(points, 32)
+	if got := g.Fraction(Rect{0, 0, 0.5, 0.5}); got != 0.5 {
+		t.Errorf("Fraction = %g, want 0.5", got)
+	}
+}
+
+func TestGridCounterPanicsOnBadResolution(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("resolution 0 did not panic")
+		}
+	}()
+	NewGridCounter(nil, 0)
+}
+
+func BenchmarkGridCounterCount(b *testing.B) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	points := randPoints(rng, 100000)
+	g := NewGridCounter(points, 256)
+	queries := make([]Rect, 256)
+	for i := range queries {
+		queries[i] = RectAround(Point{rng.Float64(), rng.Float64()}, 0.05, 0.05)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Count(queries[i%len(queries)])
+	}
+}
+
+func BenchmarkBruteForceCount(b *testing.B) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	points := randPoints(rng, 100000)
+	queries := make([]Rect, 256)
+	for i := range queries {
+		queries[i] = RectAround(Point{rng.Float64(), rng.Float64()}, 0.05, 0.05)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bruteCount(points, queries[i%len(queries)])
+	}
+}

@@ -1,0 +1,45 @@
+package hilbert_test
+
+import (
+	"fmt"
+
+	"rtreebuf/internal/hilbert"
+)
+
+// ExampleEncode walks the order-2 curve over a 4x4 grid: sixteen cells,
+// each visited exactly once, adjacent cells one step apart.
+func ExampleEncode() {
+	for d := uint64(0); d < 8; d++ {
+		x, y := hilbert.Decode(2, d)
+		fmt.Printf("d=%d -> (%d,%d)\n", d, x, y)
+	}
+	// Output:
+	// d=0 -> (0,0)
+	// d=1 -> (1,0)
+	// d=2 -> (1,1)
+	// d=3 -> (0,1)
+	// d=4 -> (0,2)
+	// d=5 -> (0,3)
+	// d=6 -> (1,3)
+	// d=7 -> (1,2)
+}
+
+// ExampleEncodePoint shows the sort key the HS packing algorithm uses:
+// points close in the plane get close curve positions.
+func ExampleEncodePoint() {
+	a := hilbert.EncodePoint(8, 0.10, 0.10)
+	b := hilbert.EncodePoint(8, 0.11, 0.10) // near a
+	c := hilbert.EncodePoint(8, 0.90, 0.90) // far away
+	near := diff(a, b)
+	far := diff(a, c)
+	fmt.Println("near pair closer on the curve than far pair:", near < far)
+	// Output:
+	// near pair closer on the curve than far pair: true
+}
+
+func diff(a, b uint64) uint64 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}

@@ -1,0 +1,105 @@
+// Package hilbert implements the two-dimensional Hilbert space-filling
+// curve used by the Hilbert Sort (HS) packing algorithm of Kamel and
+// Faloutsos. The curve of order k visits every cell of a 2^k x 2^k grid
+// exactly once, without self-intersections, and has the locality property
+// the paper relies on: points close along the curve are geographically
+// close in the plane.
+//
+// Both directions are provided: Encode maps grid coordinates to the
+// distance along the curve, Decode inverts it. EncodePoint maps a point of
+// the unit square onto the curve at a given order.
+package hilbert
+
+import "fmt"
+
+// MaxOrder is the largest supported curve order. Encode returns a uint64
+// distance of 2*order bits, so orders up to 31 keep the distance within
+// 62 bits with headroom for arithmetic.
+const MaxOrder = 31
+
+// DefaultOrder is the grid resolution used by the HS packing algorithm:
+// a 2^16 x 2^16 grid is far finer than any of the paper's data sets need,
+// while keeping sort keys cheap.
+const DefaultOrder = 16
+
+// Encode returns the distance along the order-k Hilbert curve of the grid
+// cell (x, y). x and y must lie in [0, 2^order). It panics on out-of-range
+// input: callers always control the grid mapping, so a violation is a bug.
+func Encode(order uint, x, y uint32) uint64 {
+	side := checkOrder(order)
+	if uint64(x) >= side || uint64(y) >= side {
+		panic(fmt.Sprintf("hilbert: cell (%d,%d) outside order-%d grid", x, y, order))
+	}
+	var d uint64
+	for s := uint32(side / 2); s > 0; s /= 2 {
+		var rx, ry uint32
+		if x&s > 0 {
+			rx = 1
+		}
+		if y&s > 0 {
+			ry = 1
+		}
+		d += uint64(s) * uint64(s) * uint64((3*rx)^ry)
+		x, y = rotate(s, x, y, rx, ry)
+	}
+	return d
+}
+
+// Decode returns the grid cell (x, y) at distance d along the order-k
+// Hilbert curve. d must lie in [0, 4^order); Decode panics otherwise.
+func Decode(order uint, d uint64) (x, y uint32) {
+	side := checkOrder(order)
+	if d >= side*side {
+		panic(fmt.Sprintf("hilbert: distance %d outside order-%d curve", d, order))
+	}
+	t := d
+	for s := uint64(1); s < side; s *= 2 {
+		rx := uint32(1) & uint32(t/2)
+		ry := uint32(1) & uint32(t^uint64(rx))
+		x, y = rotate(uint32(s), x, y, rx, ry)
+		x += uint32(s) * rx
+		y += uint32(s) * ry
+		t /= 4
+	}
+	return x, y
+}
+
+// EncodePoint maps a point of the unit square onto the order-k curve,
+// snapping the point to the enclosing grid cell. Coordinates outside
+// [0,1] are clamped: data is normalized to the unit square upstream, but
+// floating-point noise at the boundary must not panic.
+func EncodePoint(order uint, px, py float64) uint64 {
+	side := checkOrder(order)
+	return Encode(order, toCell(px, side), toCell(py, side))
+}
+
+func toCell(v float64, side uint64) uint32 {
+	if v < 0 {
+		v = 0
+	}
+	c := uint64(v * float64(side))
+	if c >= side {
+		c = side - 1
+	}
+	return uint32(c)
+}
+
+// rotate applies the quadrant rotation/reflection of the standard
+// Hilbert-curve construction.
+func rotate(s, x, y, rx, ry uint32) (uint32, uint32) {
+	if ry == 0 {
+		if rx == 1 {
+			x = s - 1 - x
+			y = s - 1 - y
+		}
+		x, y = y, x
+	}
+	return x, y
+}
+
+func checkOrder(order uint) uint64 {
+	if order < 1 || order > MaxOrder {
+		panic(fmt.Sprintf("hilbert: order %d outside [1,%d]", order, MaxOrder))
+	}
+	return uint64(1) << order
+}

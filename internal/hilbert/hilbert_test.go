@@ -1,0 +1,180 @@
+package hilbert
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTripExhaustive(t *testing.T) {
+	for order := uint(1); order <= 5; order++ {
+		side := uint32(1) << order
+		for y := uint32(0); y < side; y++ {
+			for x := uint32(0); x < side; x++ {
+				d := Encode(order, x, y)
+				gx, gy := Decode(order, d)
+				if gx != x || gy != y {
+					t.Fatalf("order %d: Decode(Encode(%d,%d)=%d) = (%d,%d)", order, x, y, d, gx, gy)
+				}
+			}
+		}
+	}
+}
+
+func TestEncodeIsBijectionSmallOrders(t *testing.T) {
+	for order := uint(1); order <= 5; order++ {
+		side := uint64(1) << order
+		seen := make([]bool, side*side)
+		for y := uint32(0); y < uint32(side); y++ {
+			for x := uint32(0); x < uint32(side); x++ {
+				d := Encode(order, x, y)
+				if d >= side*side {
+					t.Fatalf("order %d: distance %d out of range", order, d)
+				}
+				if seen[d] {
+					t.Fatalf("order %d: distance %d visited twice", order, d)
+				}
+				seen[d] = true
+			}
+		}
+	}
+}
+
+// The defining continuity property: consecutive curve positions are
+// adjacent grid cells (Manhattan distance exactly 1).
+func TestCurveContinuity(t *testing.T) {
+	for order := uint(1); order <= 7; order++ {
+		side := uint64(1) << order
+		px, py := Decode(order, 0)
+		for d := uint64(1); d < side*side; d++ {
+			x, y := Decode(order, d)
+			dist := absDiff(x, px) + absDiff(y, py)
+			if dist != 1 {
+				t.Fatalf("order %d: step %d jumps from (%d,%d) to (%d,%d)", order, d, px, py, x, y)
+			}
+			px, py = x, y
+		}
+	}
+}
+
+func absDiff(a, b uint32) uint32 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}
+
+func TestRoundTripRandomHighOrder(t *testing.T) {
+	rng := rand.New(rand.NewPCG(12, 34))
+	for _, order := range []uint{8, 16, 24, 31} {
+		side := uint64(1) << order
+		for i := 0; i < 2000; i++ {
+			x := uint32(rng.Uint64N(side))
+			y := uint32(rng.Uint64N(side))
+			gx, gy := Decode(order, Encode(order, x, y))
+			if gx != x || gy != y {
+				t.Fatalf("order %d: roundtrip (%d,%d) -> (%d,%d)", order, x, y, gx, gy)
+			}
+		}
+	}
+}
+
+func TestRoundTripQuick(t *testing.T) {
+	const order = 16
+	side := uint32(1) << order
+	f := func(x, y uint32) bool {
+		x, y = x%side, y%side
+		gx, gy := Decode(order, Encode(order, x, y))
+		return gx == x && gy == y
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Locality: points close along the curve are geographically close — the
+// property HS packing relies on. Verify the average Euclidean distance of
+// curve-adjacent cells is far below that of random pairs.
+func TestLocality(t *testing.T) {
+	const order = 8
+	side := uint64(1) << order
+	total := side * side
+	rng := rand.New(rand.NewPCG(9, 9))
+
+	var adjacent, random float64
+	const samples = 5000
+	for i := 0; i < samples; i++ {
+		d := rng.Uint64N(total - 1)
+		x1, y1 := Decode(order, d)
+		x2, y2 := Decode(order, d+1)
+		adjacent += dist2(x1, y1, x2, y2)
+
+		xa, ya := Decode(order, rng.Uint64N(total))
+		xb, yb := Decode(order, rng.Uint64N(total))
+		random += dist2(xa, ya, xb, yb)
+	}
+	if adjacent*100 > random {
+		t.Errorf("curve locality weak: adjacent mean sq dist %g vs random %g",
+			adjacent/samples, random/samples)
+	}
+}
+
+func dist2(x1, y1, x2, y2 uint32) float64 {
+	dx := float64(x1) - float64(x2)
+	dy := float64(y1) - float64(y2)
+	return dx*dx + dy*dy
+}
+
+func TestEncodePoint(t *testing.T) {
+	// Corner cells.
+	if got := EncodePoint(1, 0, 0); got != Encode(1, 0, 0) {
+		t.Errorf("EncodePoint(0,0) = %d", got)
+	}
+	// Clamping: coordinates at and beyond 1.0 map to the last cell.
+	if got, want := EncodePoint(4, 1.0, 1.0), Encode(4, 15, 15); got != want {
+		t.Errorf("EncodePoint(1,1) = %d, want %d", got, want)
+	}
+	if got, want := EncodePoint(4, 2.5, -1), Encode(4, 15, 0); got != want {
+		t.Errorf("EncodePoint(2.5,-1) = %d, want %d", got, want)
+	}
+	// Mid-square lands in a middle cell.
+	x, y := Decode(8, EncodePoint(8, 0.5, 0.5))
+	if x != 128 || y != 128 {
+		t.Errorf("EncodePoint(0.5,0.5) decodes to (%d,%d)", x, y)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	cases := []struct {
+		name string
+		f    func()
+	}{
+		{"order 0", func() { Encode(0, 0, 0) }},
+		{"order too large", func() { Encode(MaxOrder+1, 0, 0) }},
+		{"x out of range", func() { Encode(2, 4, 0) }},
+		{"y out of range", func() { Encode(2, 0, 4) }},
+		{"distance out of range", func() { Decode(2, 16) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", tc.name)
+				}
+			}()
+			tc.f()
+		})
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Encode(DefaultOrder, uint32(i)&0xffff, uint32(i>>16)&0xffff)
+	}
+}
+
+func BenchmarkEncodePoint(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		EncodePoint(DefaultOrder, float64(i%1000)/1000, float64(i%997)/997)
+	}
+}

@@ -1,0 +1,72 @@
+package nd
+
+import "math/rand/v2"
+
+// Data generators for the d-dimensional experiments, mirroring the 2-D
+// package at reduced scope.
+
+// UniformPoints returns n points uniform over the unit cube.
+func UniformPoints(dims, n int, seed uint64) []Point {
+	rng := rand.New(rand.NewPCG(seed, seed^0xfeed))
+	out := make([]Point, n)
+	for i := range out {
+		p := make(Point, dims)
+		for d := range p {
+			p[d] = rng.Float64()
+		}
+		out[i] = p
+	}
+	return out
+}
+
+// ClusteredPoints returns n points drawn from `clusters` uniform blobs of
+// the given radius — the d-dimensional skew generator.
+func ClusteredPoints(dims, n, clusters int, radius float64, seed uint64) []Point {
+	rng := rand.New(rand.NewPCG(seed, seed^0xc105))
+	centers := UniformPoints(dims, clusters, seed^0x5eed)
+	out := make([]Point, n)
+	for i := range out {
+		c := centers[rng.IntN(clusters)]
+		p := make(Point, dims)
+		for d := range p {
+			v := c[d] + (rng.Float64()-0.5)*2*radius
+			if v < 0 {
+				v = 0
+			}
+			if v > 1 {
+				v = 1
+			}
+			p[d] = v
+		}
+		out[i] = p
+	}
+	return out
+}
+
+// PointItems wraps points as degenerate-box items (ID = index).
+func PointItems(points []Point) []Item {
+	out := make([]Item, len(points))
+	for i, p := range points {
+		out[i] = Item{Rect: PointRect(p), ID: int64(i)}
+	}
+	return out
+}
+
+// CubeItems returns n axis-aligned hypercubes with side uniform in
+// (0, maxSide], centered so each cube stays inside the unit cube.
+func CubeItems(dims, n int, maxSide float64, seed uint64) []Item {
+	rng := rand.New(rand.NewPCG(seed, seed^0xcbe5))
+	out := make([]Item, n)
+	for i := range out {
+		side := rng.Float64() * maxSide
+		min := make(Point, dims)
+		max := make(Point, dims)
+		for d := 0; d < dims; d++ {
+			c := side/2 + rng.Float64()*(1-side)
+			min[d] = c - side/2
+			max[d] = c + side/2
+		}
+		out[i] = Item{Rect: Rect{Min: min, Max: max}, ID: int64(i)}
+	}
+	return out
+}

@@ -1,0 +1,152 @@
+package nd
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func randRect(rng *rand.Rand, dims int) Rect {
+	min := make(Point, dims)
+	max := make(Point, dims)
+	for d := 0; d < dims; d++ {
+		a, b := rng.Float64(), rng.Float64()
+		if a > b {
+			a, b = b, a
+		}
+		min[d], max[d] = a, b
+	}
+	return Rect{Min: min, Max: max}
+}
+
+func randPoint(rng *rand.Rand, dims int) Point {
+	p := make(Point, dims)
+	for d := range p {
+		p[d] = rng.Float64()
+	}
+	return p
+}
+
+func TestNewRect(t *testing.T) {
+	if _, err := NewRect(Point{0, 0, 0}, Point{1, 1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewRect(Point{0, 0}, Point{1, 1, 1}); err == nil {
+		t.Error("dim mismatch accepted")
+	}
+	if _, err := NewRect(Point{0.5, 0}, Point{0.1, 1}); err == nil {
+		t.Error("min > max accepted")
+	}
+	if _, err := NewRect(Point{}, Point{}); err == nil {
+		t.Error("zero-dim rect accepted")
+	}
+}
+
+func TestVolumeMarginCenter(t *testing.T) {
+	r, _ := NewRect(Point{0, 0, 0}, Point{0.5, 0.4, 0.2})
+	if got := r.Volume(); math.Abs(got-0.04) > 1e-15 {
+		t.Errorf("Volume = %g", got)
+	}
+	if got := r.Margin(); math.Abs(got-1.1) > 1e-15 {
+		t.Errorf("Margin = %g", got)
+	}
+	c := r.Center()
+	if math.Abs(c[0]-0.25)+math.Abs(c[1]-0.2)+math.Abs(c[2]-0.1) > 1e-15 {
+		t.Errorf("Center = %v", c)
+	}
+	if r.Extent(1) != 0.4 {
+		t.Errorf("Extent(1) = %g", r.Extent(1))
+	}
+}
+
+func TestUnitCube(t *testing.T) {
+	for _, d := range []int{2, 3, 5, 8} {
+		c := UnitCube(d)
+		if c.Dims() != d || c.Volume() != 1 || c.Margin() != float64(d) {
+			t.Errorf("UnitCube(%d) = %+v", d, c)
+		}
+	}
+}
+
+func TestContainsIntersectsUnion(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	for _, dims := range []int{2, 3, 4, 6} {
+		for i := 0; i < 500; i++ {
+			a, b := randRect(rng, dims), randRect(rng, dims)
+			u := a.Union(b)
+			// Union contains both; intersection is symmetric.
+			for d := 0; d < dims; d++ {
+				if u.Min[d] > a.Min[d] || u.Max[d] < a.Max[d] ||
+					u.Min[d] > b.Min[d] || u.Max[d] < b.Max[d] {
+					t.Fatal("union does not contain operands")
+				}
+			}
+			if a.Intersects(b) != b.Intersects(a) {
+				t.Fatal("Intersects not symmetric")
+			}
+			if u.Volume() < a.Volume() || u.Volume() < b.Volume() {
+				t.Fatal("union volume shrank")
+			}
+			if a.Enlargement(b) < 0 {
+				t.Fatal("negative enlargement")
+			}
+			// A point in a is in the union.
+			p := a.Center()
+			if !a.ContainsPoint(p) || !u.ContainsPoint(p) {
+				t.Fatal("containment broken")
+			}
+		}
+	}
+}
+
+func TestExpandTotalEquivalence(t *testing.T) {
+	// The geometric core of the data-driven model in d dims: a box query
+	// of extents q centered at c intersects R iff c is in ExpandTotal(q).
+	rng := rand.New(rand.NewPCG(3, 4))
+	for _, dims := range []int{2, 3, 5} {
+		q := make([]float64, dims)
+		for d := range q {
+			q[d] = rng.Float64() * 0.3
+		}
+		for i := 0; i < 1000; i++ {
+			r := randRect(rng, dims)
+			c := randPoint(rng, dims)
+			queryMin := make(Point, dims)
+			queryMax := make(Point, dims)
+			for d := 0; d < dims; d++ {
+				queryMin[d] = c[d] - q[d]/2
+				queryMax[d] = c[d] + q[d]/2
+			}
+			query := Rect{Min: queryMin, Max: queryMax}
+			want := r.Intersects(query)
+			got := r.ExpandTotal(q).ContainsPoint(c)
+			if got != want {
+				t.Fatalf("dims %d: equivalence broken for %v / %v", dims, r, c)
+			}
+		}
+	}
+}
+
+func TestMBR(t *testing.T) {
+	a, _ := NewRect(Point{0, 0}, Point{0.2, 0.3})
+	b, _ := NewRect(Point{0.5, 0.6}, Point{0.9, 0.7})
+	m := MBR([]Rect{a, b})
+	if m.Min[0] != 0 || m.Max[0] != 0.9 || m.Min[1] != 0 || m.Max[1] != 0.7 {
+		t.Errorf("MBR = %+v", m)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MBR(nil) did not panic")
+		}
+	}()
+	MBR(nil)
+}
+
+func TestCheckDimsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("dimension mismatch did not panic")
+		}
+	}()
+	checkDims(3, UnitCube(2))
+}

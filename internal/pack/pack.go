@@ -1,0 +1,171 @@
+// Package pack implements the R-tree loading algorithms the paper studies
+// (Section 2.2): Tuple-At-a-Time insertion (TAT) with Guttman's quadratic
+// split, Nearest-X packing (NX, Roussopoulos–Leifker), and Hilbert Sort
+// packing (HS, Kamel–Faloutsos). Sort-Tile-Recursive (STR) from the
+// authors' companion paper is included as an extension/ablation.
+//
+// The packed loaders share the paper's "General Algorithm": order the
+// rectangles of a level, fill nodes with consecutive groups of n, and
+// recurse on the node MBRs until a single root remains. Each algorithm is
+// just a different Ordering plugged into rtree.Pack.
+package pack
+
+import (
+	"fmt"
+	"sort"
+
+	"rtreebuf/internal/geom"
+	"rtreebuf/internal/hilbert"
+	"rtreebuf/internal/rtree"
+)
+
+// Algorithm names a loading algorithm.
+type Algorithm string
+
+// The loading algorithms available to experiments and tools.
+const (
+	TATQuadratic Algorithm = "tat"        // tuple-at-a-time, quadratic split
+	TATLinear    Algorithm = "tat-linear" // tuple-at-a-time, linear split (ablation)
+	RStar        Algorithm = "rstar"      // tuple-at-a-time, R* heuristics (extension)
+	NearestX     Algorithm = "nx"         // sort by center x, pack
+	HilbertSort  Algorithm = "hs"         // sort by Hilbert value of center, pack
+	STR          Algorithm = "str"        // sort-tile-recursive (extension)
+)
+
+// Algorithms lists every supported algorithm in the order the paper
+// introduces them (extensions last).
+func Algorithms() []Algorithm {
+	return []Algorithm{TATQuadratic, NearestX, HilbertSort, TATLinear, RStar, STR}
+}
+
+// PaperAlgorithms lists only the three algorithms compared in the paper.
+func PaperAlgorithms() []Algorithm {
+	return []Algorithm{TATQuadratic, NearestX, HilbertSort}
+}
+
+// Load builds an R-tree over items with the named algorithm.
+func Load(alg Algorithm, p rtree.Params, items []rtree.Item) (*rtree.Tree, error) {
+	switch alg {
+	case TATQuadratic:
+		p.Split = rtree.SplitQuadratic
+		return loadTAT(p, items)
+	case TATLinear:
+		p.Split = rtree.SplitLinear
+		return loadTAT(p, items)
+	case RStar:
+		p.Split = rtree.SplitRStar
+		return loadTAT(p, items)
+	case NearestX:
+		return rtree.Pack(p, items, NearestXOrdering())
+	case HilbertSort:
+		return rtree.Pack(p, items, HilbertOrdering(hilbert.DefaultOrder))
+	case STR:
+		return rtree.Pack(p, items, STROrdering())
+	default:
+		return nil, fmt.Errorf("pack: unknown algorithm %q", alg)
+	}
+}
+
+func loadTAT(p rtree.Params, items []rtree.Item) (*rtree.Tree, error) {
+	t, err := rtree.New(p)
+	if err != nil {
+		return nil, err
+	}
+	t.InsertAll(items)
+	return t, nil
+}
+
+// NearestXOrdering returns the NX ordering: rectangles sorted by the
+// x-coordinate of their center. (The original paper gives no details; like
+// Leutenegger–López we assume the rectangle's center is used.)
+func NearestXOrdering() rtree.Ordering {
+	return rtree.OrderingFunc(func(rects []geom.Rect, _ int) []int {
+		perm := identity(len(rects))
+		sort.SliceStable(perm, func(a, b int) bool {
+			ca, cb := rects[perm[a]].Center(), rects[perm[b]].Center()
+			if ca.X != cb.X {
+				return ca.X < cb.X
+			}
+			return ca.Y < cb.Y // deterministic tie-break
+		})
+		return perm
+	})
+}
+
+// HilbertOrdering returns the HS ordering: rectangles sorted by the
+// Hilbert-curve distance of their center on a 2^order x 2^order grid over
+// the unit square.
+func HilbertOrdering(order uint) rtree.Ordering {
+	return rtree.OrderingFunc(func(rects []geom.Rect, _ int) []int {
+		keys := make([]uint64, len(rects))
+		for i, r := range rects {
+			c := r.Center()
+			keys[i] = hilbert.EncodePoint(order, c.X, c.Y)
+		}
+		perm := identity(len(rects))
+		sort.SliceStable(perm, func(a, b int) bool {
+			return keys[perm[a]] < keys[perm[b]]
+		})
+		return perm
+	})
+}
+
+// STROrdering returns the Sort-Tile-Recursive ordering of
+// Leutenegger–López–Edgington: sort by center x, cut the sequence into
+// ceil(sqrt(P/n)) vertical slabs of n*ceil(sqrt(P/n)) rectangles, and sort
+// each slab by center y. Grouping consecutive runs of n afterwards yields
+// the STR tiling exactly.
+func STROrdering() rtree.Ordering {
+	return rtree.OrderingFunc(func(rects []geom.Rect, groupSize int) []int {
+		p := len(rects)
+		perm := identity(p)
+		sort.SliceStable(perm, func(a, b int) bool {
+			ca, cb := rects[perm[a]].Center(), rects[perm[b]].Center()
+			if ca.X != cb.X {
+				return ca.X < cb.X
+			}
+			return ca.Y < cb.Y
+		})
+		if groupSize < 1 {
+			return perm
+		}
+		leaves := (p + groupSize - 1) / groupSize
+		slabs := ceilSqrt(leaves)
+		slabSize := slabs * groupSize
+		for start := 0; start < p; start += slabSize {
+			end := start + slabSize
+			if end > p {
+				end = p
+			}
+			slab := perm[start:end]
+			sort.SliceStable(slab, func(a, b int) bool {
+				ca, cb := rects[slab[a]].Center(), rects[slab[b]].Center()
+				if ca.Y != cb.Y {
+					return ca.Y < cb.Y
+				}
+				return ca.X < cb.X
+			})
+		}
+		return perm
+	})
+}
+
+func identity(n int) []int {
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	return perm
+}
+
+// ceilSqrt returns ceil(sqrt(n)) for n >= 0 using integer arithmetic.
+func ceilSqrt(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	r := 1
+	for r*r < n {
+		r++
+	}
+	return r
+}

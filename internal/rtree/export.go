@@ -1,0 +1,140 @@
+package rtree
+
+import (
+	"fmt"
+
+	"rtreebuf/internal/geom"
+)
+
+// NodeData is the serialization-friendly view of one node, decoupling the
+// storage codec from tree internals. Page numbers are the level-order IDs
+// from AssignPageIDs (root = 0).
+type NodeData struct {
+	Page     int
+	Level    int // paper convention: 0 = root
+	Leaf     bool
+	Rects    []geom.Rect
+	Children []int   // child page numbers; internal nodes only
+	IDs      []int64 // data identifiers; leaves only
+}
+
+// ExportNodes returns every node in page order. It assigns page IDs if
+// they are stale, so it is always safe to call.
+func (t *Tree) ExportNodes() []NodeData {
+	if !t.pagesValid {
+		t.AssignPageIDs()
+	}
+	out := make([]NodeData, t.NodeCount())
+	t.walk(func(n *node) {
+		nd := NodeData{
+			Page:  n.page,
+			Level: t.root.height - n.height,
+			Leaf:  n.isLeaf(),
+			Rects: make([]geom.Rect, len(n.entries)),
+		}
+		for i, e := range n.entries {
+			nd.Rects[i] = e.rect
+			if n.isLeaf() {
+				nd.IDs = append(nd.IDs, e.id)
+			} else {
+				nd.Children = append(nd.Children, e.child.page)
+			}
+		}
+		out[n.page] = nd
+	})
+	return out
+}
+
+// ImportNodes reconstructs a tree from exported node data. The root must
+// be page 0. The rebuilt tree is fully validated: malformed input (missing
+// pages, cycles, inconsistent levels, child MBR mismatches) is rejected
+// rather than producing a silently corrupt index.
+func ImportNodes(p Params, nodes []NodeData) (*Tree, error) {
+	np, err := p.normalized()
+	if err != nil {
+		return nil, err
+	}
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("rtree: import of zero nodes")
+	}
+	byPage := make(map[int]*NodeData, len(nodes))
+	maxLevel := 0
+	for i := range nodes {
+		nd := &nodes[i]
+		if _, dup := byPage[nd.Page]; dup {
+			return nil, fmt.Errorf("rtree: duplicate page %d", nd.Page)
+		}
+		byPage[nd.Page] = nd
+		if nd.Level > maxLevel {
+			maxLevel = nd.Level
+		}
+		if nd.Leaf {
+			if len(nd.IDs) != len(nd.Rects) {
+				return nil, fmt.Errorf("rtree: page %d: %d IDs for %d rects", nd.Page, len(nd.IDs), len(nd.Rects))
+			}
+		} else if len(nd.Children) != len(nd.Rects) {
+			return nil, fmt.Errorf("rtree: page %d: %d children for %d rects", nd.Page, len(nd.Children), len(nd.Rects))
+		}
+	}
+	rootData, ok := byPage[0]
+	if !ok {
+		return nil, fmt.Errorf("rtree: no root page 0")
+	}
+	if rootData.Level != 0 {
+		return nil, fmt.Errorf("rtree: root page at level %d", rootData.Level)
+	}
+
+	built := make(map[int]*node, len(nodes))
+	var build func(page int) (*node, error)
+	build = func(page int) (*node, error) {
+		if _, cyc := built[page]; cyc {
+			return nil, fmt.Errorf("rtree: page %d referenced twice (cycle or shared child)", page)
+		}
+		nd, ok := byPage[page]
+		if !ok {
+			return nil, fmt.Errorf("rtree: missing page %d", page)
+		}
+		n := &node{height: maxLevel - nd.Level, page: page}
+		built[page] = n
+		if nd.Leaf != (n.height == 0) {
+			return nil, fmt.Errorf("rtree: page %d leaf flag inconsistent with level %d (tree depth %d)",
+				page, nd.Level, maxLevel)
+		}
+		n.entries = make([]entry, len(nd.Rects))
+		for i, r := range nd.Rects {
+			n.entries[i] = entry{rect: r}
+			if nd.Leaf {
+				n.entries[i].id = nd.IDs[i]
+			} else {
+				child, err := build(nd.Children[i])
+				if err != nil {
+					return nil, err
+				}
+				if child.height != n.height-1 {
+					return nil, fmt.Errorf("rtree: page %d child %d at wrong level", page, nd.Children[i])
+				}
+				child.parent = n
+				n.entries[i].child = child
+			}
+		}
+		return n, nil
+	}
+	root, err := build(0)
+	if err != nil {
+		return nil, err
+	}
+	if len(built) != len(nodes) {
+		return nil, fmt.Errorf("rtree: %d of %d pages unreachable from root", len(nodes)-len(built), len(nodes))
+	}
+
+	t := &Tree{root: root, params: np, pagesValid: true}
+	t.walk(func(n *node) {
+		if n.isLeaf() {
+			t.size += len(n.entries)
+		}
+	})
+	if err := t.CheckInvariants(); err != nil {
+		return nil, fmt.Errorf("rtree: imported tree invalid: %w", err)
+	}
+	return t, nil
+}

@@ -1,0 +1,135 @@
+package rtree
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"rtreebuf/internal/geom"
+)
+
+func TestExportImportRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewPCG(121, 122))
+	for _, build := range []string{"packed", "inserted"} {
+		items := testItems(rng, 600)
+		var tr *Tree
+		var err error
+		if build == "packed" {
+			tr, err = Pack(Params{MaxEntries: 8}, items, xOrdering)
+			if err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			tr = MustNew(Params{MaxEntries: 8})
+			tr.InsertAll(items)
+		}
+
+		nodes := tr.ExportNodes()
+		if len(nodes) != tr.NodeCount() {
+			t.Fatalf("%s: exported %d nodes, tree has %d", build, len(nodes), tr.NodeCount())
+		}
+		got, err := ImportNodes(tr.Params(), nodes)
+		if err != nil {
+			t.Fatalf("%s: import: %v", build, err)
+		}
+		if got.Len() != tr.Len() || got.Height() != tr.Height() || got.NodeCount() != tr.NodeCount() {
+			t.Fatalf("%s: shape mismatch after round trip", build)
+		}
+		if !equalIDs(idsOf(got.Items()), idsOf(items)) {
+			t.Fatalf("%s: item set mismatch after round trip", build)
+		}
+		// Searches agree.
+		for i := 0; i < 30; i++ {
+			q := geom.RectAround(geom.Point{X: rng.Float64(), Y: rng.Float64()}, 0.2, 0.2)
+			if !equalIDs(idsOf(got.SearchWindow(q)), idsOf(tr.SearchWindow(q))) {
+				t.Fatalf("%s: search mismatch after round trip", build)
+			}
+		}
+	}
+}
+
+func TestExportAssignsPagesIfStale(t *testing.T) {
+	tr := MustNew(Params{MaxEntries: 4})
+	tr.Insert(Item{Rect: geom.UnitSquare, ID: 1})
+	// No AssignPageIDs call: ExportNodes must handle it.
+	nodes := tr.ExportNodes()
+	if len(nodes) != 1 || nodes[0].Page != 0 {
+		t.Errorf("export = %+v", nodes)
+	}
+}
+
+func TestImportRejectsCorruptInput(t *testing.T) {
+	rng := rand.New(rand.NewPCG(123, 124))
+	tr, err := Pack(Params{MaxEntries: 4}, testItems(rng, 40), xOrdering)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := tr.ExportNodes()
+	p := tr.Params()
+
+	corrupt := []struct {
+		name   string
+		mutate func([]NodeData) []NodeData
+	}{
+		{"empty", func(ns []NodeData) []NodeData { return nil }},
+		{"missing root", func(ns []NodeData) []NodeData { return ns[1:] }},
+		{"duplicate page", func(ns []NodeData) []NodeData {
+			ns[1].Page = ns[2].Page
+			return ns
+		}},
+		{"dangling child", func(ns []NodeData) []NodeData {
+			ns[0].Children[0] = 9999
+			return ns
+		}},
+		{"unreachable node", func(ns []NodeData) []NodeData {
+			extra := ns[len(ns)-1]
+			extra.Page = 10000
+			return append(ns, extra)
+		}},
+		{"leaf id count mismatch", func(ns []NodeData) []NodeData {
+			for i := range ns {
+				if ns[i].Leaf {
+					ns[i].IDs = ns[i].IDs[:len(ns[i].IDs)-1]
+					break
+				}
+			}
+			return ns
+		}},
+		{"wrong child mbr", func(ns []NodeData) []NodeData {
+			ns[0].Rects[0] = geom.Rect{MinX: 0, MinY: 0, MaxX: 1e-9, MaxY: 1e-9}
+			return ns
+		}},
+		{"shared child (cycle)", func(ns []NodeData) []NodeData {
+			if len(ns[0].Children) >= 2 {
+				ns[0].Children[1] = ns[0].Children[0]
+			}
+			return ns
+		}},
+	}
+	for _, tc := range corrupt {
+		cp := make([]NodeData, len(good))
+		for i, nd := range good {
+			cp[i] = nd
+			cp[i].Rects = append([]geom.Rect(nil), nd.Rects...)
+			cp[i].Children = append([]int(nil), nd.Children...)
+			cp[i].IDs = append([]int64(nil), nd.IDs...)
+		}
+		if _, err := ImportNodes(p, tc.mutate(cp)); err == nil {
+			t.Errorf("%s: import accepted corrupt data", tc.name)
+		}
+	}
+}
+
+func TestImportSingleLeaf(t *testing.T) {
+	nodes := []NodeData{{
+		Page: 0, Level: 0, Leaf: true,
+		Rects: []geom.Rect{{MinX: 0.1, MinY: 0.1, MaxX: 0.2, MaxY: 0.2}},
+		IDs:   []int64{42},
+	}}
+	tr, err := ImportNodes(Params{MaxEntries: 4}, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 1 || tr.Height() != 1 {
+		t.Errorf("imported leaf tree: len %d height %d", tr.Len(), tr.Height())
+	}
+}

@@ -1,0 +1,142 @@
+package rtree
+
+import "rtreebuf/internal/geom"
+
+// Insert adds one data rectangle to the tree using Guttman's insertion
+// algorithm (ChooseLeaf, split on overflow, AdjustTree), or the R*-tree
+// variant when Params.Split is SplitRStar. This is the primitive behind
+// the paper's Tuple-At-a-Time (TAT) loading algorithm.
+func (t *Tree) Insert(item Item) {
+	var ctx *insertCtx
+	if t.params.Split == SplitRStar {
+		ctx = &insertCtx{reinserted: make(map[int]bool)}
+	}
+	t.insertEntryCtx(entry{rect: item.Rect, id: item.ID}, 0, ctx)
+	t.size++
+	t.pagesValid = false
+}
+
+// InsertAll inserts items in order.
+func (t *Tree) InsertAll(items []Item) {
+	for _, it := range items {
+		t.Insert(it)
+	}
+}
+
+// insertEntry places e at the given height (0 = leaf level) without
+// forced-reinsertion bookkeeping. CondenseTree uses it: its reinsertions
+// must not trigger further R* reinsertion cascades.
+func (t *Tree) insertEntry(e entry, height int) {
+	t.insertEntryCtx(e, height, nil)
+}
+
+// insertEntryCtx places e at the given height, consulting ctx for the R*
+// overflow treatment.
+func (t *Tree) insertEntryCtx(e entry, height int, ctx *insertCtx) {
+	n := t.chooseNode(e.rect, height)
+	n.entries = append(n.entries, e)
+	if e.child != nil {
+		e.child.parent = n
+	}
+	if len(n.entries) > t.params.MaxEntries {
+		t.overflow(n, ctx)
+	} else {
+		t.adjustUpward(n)
+	}
+}
+
+// overflow applies the configured overflow treatment to node n: R* forced
+// reinsertion on the first overflow per height per insertion (never at
+// the root), a split otherwise.
+func (t *Tree) overflow(n *node, ctx *insertCtx) {
+	if t.params.Split == SplitRStar && ctx != nil && n.parent != nil && !ctx.reinserted[n.height] {
+		ctx.reinserted[n.height] = true
+		t.forcedReinsert(n, ctx)
+		return
+	}
+	t.splitAndAdjust(n, ctx)
+}
+
+// chooseNode descends from the root to the node at the target height whose
+// MBR needs the least area enlargement to include r, breaking ties by
+// smallest area (Guttman's ChooseLeaf, generalized to any level). Under
+// SplitRStar, the step onto the target level instead minimizes overlap
+// enlargement (the R* ChooseSubtree refinement).
+func (t *Tree) chooseNode(r geom.Rect, height int) *node {
+	n := t.root
+	for n.height > height {
+		var best int
+		if t.params.Split == SplitRStar && n.height == height+1 {
+			best = chooseSubtreeRStar(n, r)
+		} else {
+			best = -1
+			var bestEnl, bestArea float64
+			for i := range n.entries {
+				enl := n.entries[i].rect.Enlargement(r)
+				area := n.entries[i].rect.Area()
+				if best == -1 || enl < bestEnl || (enl == bestEnl && area < bestArea) {
+					best, bestEnl, bestArea = i, enl, area
+				}
+			}
+		}
+		// Extend the chosen subtree's MBR on the way down so ancestors are
+		// already correct when the entry lands (AdjustTree handles splits).
+		n.entries[best].rect = n.entries[best].rect.Union(r)
+		n = n.entries[best].child
+	}
+	return n
+}
+
+// splitAndAdjust splits the overflowing node n and propagates splits and
+// MBR updates toward the root (Guttman's AdjustTree). Overflows of
+// ancestors go back through the overflow treatment, so R* forced
+// reinsertion applies at upper levels too.
+func (t *Tree) splitAndAdjust(n *node, ctx *insertCtx) {
+	left, right := t.split(n)
+	p := n.parent
+	if p == nil {
+		// Root split: grow the tree by one level.
+		newRoot := &node{height: n.height + 1}
+		newRoot.entries = []entry{
+			{rect: left.mbr(), child: left},
+			{rect: right.mbr(), child: right},
+		}
+		left.parent, right.parent = newRoot, newRoot
+		t.root = newRoot
+		return
+	}
+	// Replace n's entry in the parent with the left half, add the right.
+	i := p.entryIndexOf(n)
+	p.entries[i] = entry{rect: left.mbr(), child: left}
+	left.parent = p
+	p.entries = append(p.entries, entry{rect: right.mbr(), child: right})
+	right.parent = p
+	if len(p.entries) > t.params.MaxEntries {
+		t.overflow(p, ctx)
+	} else {
+		t.adjustUpward(p)
+	}
+}
+
+// adjustUpward recomputes MBRs from n to the root after a change that did
+// not overflow.
+func (t *Tree) adjustUpward(n *node) {
+	for n.parent != nil {
+		p := n.parent
+		i := p.entryIndexOf(n)
+		p.entries[i].rect = n.mbr()
+		n = p
+	}
+}
+
+// entryIndexOf returns the index of the entry pointing at child. It panics
+// if child is not among p's entries: parent pointers are maintained by
+// this package, so a miss is a structural bug, not a user error.
+func (p *node) entryIndexOf(child *node) int {
+	for i := range p.entries {
+		if p.entries[i].child == child {
+			return i
+		}
+	}
+	panic("rtree: parent does not reference child")
+}

@@ -1,0 +1,147 @@
+package rtree
+
+import (
+	"container/heap"
+	"math"
+
+	"rtreebuf/internal/geom"
+)
+
+// Nearest-neighbor search: best-first branch and bound over the tree
+// using minimum distance between the query point and node MBRs
+// (Hjaltason–Samet incremental distance scanning). Not part of the
+// paper's evaluation, but a capability every production R-tree offers —
+// and its page-access pattern is exactly the kind of workload the buffer
+// model prices.
+
+// Neighbor is one nearest-neighbor result.
+type Neighbor struct {
+	Item Item
+	// Dist is the Euclidean distance from the query point to the item's
+	// rectangle (zero if the point lies inside it).
+	Dist float64
+}
+
+// minDistSq returns the squared minimum distance from p to r.
+func minDistSq(p geom.Point, r geom.Rect) float64 {
+	dx := math.Max(math.Max(r.MinX-p.X, 0), p.X-r.MaxX)
+	dy := math.Max(math.Max(r.MinY-p.Y, 0), p.Y-r.MaxY)
+	return dx*dx + dy*dy
+}
+
+// nnEntry is a prioritized traversal element: either a node or a data item.
+type nnEntry struct {
+	distSq float64
+	node   *node // nil for data items
+	item   Item
+}
+
+type nnHeap []nnEntry
+
+func (h nnHeap) Len() int           { return len(h) }
+func (h nnHeap) Less(i, j int) bool { return h[i].distSq < h[j].distSq }
+func (h nnHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *nnHeap) Push(x any)        { *h = append(*h, x.(nnEntry)) }
+func (h *nnHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Nearest returns the k stored items closest to p in ascending distance
+// order (fewer if the tree holds fewer). Distance to a rectangle is the
+// minimum Euclidean distance; ties are broken by traversal order.
+func (t *Tree) Nearest(p geom.Point, k int) []Neighbor {
+	if k <= 0 || t.size == 0 {
+		return nil
+	}
+	h := &nnHeap{}
+	if len(t.root.entries) > 0 {
+		heap.Push(h, nnEntry{distSq: minDistSq(p, t.root.mbr()), node: t.root})
+	}
+	out := make([]Neighbor, 0, k)
+	for h.Len() > 0 && len(out) < k {
+		e := heap.Pop(h).(nnEntry)
+		if e.node == nil {
+			out = append(out, Neighbor{Item: e.item, Dist: math.Sqrt(e.distSq)})
+			continue
+		}
+		for _, child := range e.node.entries {
+			d := minDistSq(p, child.rect)
+			if e.node.isLeaf() {
+				heap.Push(h, nnEntry{distSq: d, item: Item{Rect: child.rect, ID: child.id}})
+			} else {
+				heap.Push(h, nnEntry{distSq: d, node: child.child})
+			}
+		}
+	}
+	return out
+}
+
+// NearestWithin returns every stored item whose rectangle lies within
+// Euclidean distance radius of p, in ascending distance order.
+func (t *Tree) NearestWithin(p geom.Point, radius float64) []Neighbor {
+	if radius < 0 || t.size == 0 {
+		return nil
+	}
+	limitSq := radius * radius
+	h := &nnHeap{}
+	if len(t.root.entries) > 0 {
+		heap.Push(h, nnEntry{distSq: minDistSq(p, t.root.mbr()), node: t.root})
+	}
+	var out []Neighbor
+	for h.Len() > 0 {
+		e := heap.Pop(h).(nnEntry)
+		if e.distSq > limitSq {
+			break // everything else is farther
+		}
+		if e.node == nil {
+			out = append(out, Neighbor{Item: e.item, Dist: math.Sqrt(e.distSq)})
+			continue
+		}
+		for _, child := range e.node.entries {
+			if d := minDistSq(p, child.rect); d <= limitSq {
+				if e.node.isLeaf() {
+					heap.Push(h, nnEntry{distSq: d, item: Item{Rect: child.rect, ID: child.id}})
+				} else {
+					heap.Push(h, nnEntry{distSq: d, node: child.child})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// TraceNearest reports the pages a Nearest(p, k) search reads, in access
+// order — the input for pricing kNN workloads with the buffer model. It
+// requires AssignPageIDs, like TraceWindow.
+func (t *Tree) TraceNearest(p geom.Point, k int, visit func(NodeVisit)) []Neighbor {
+	if !t.pagesValid {
+		panic("rtree: TraceNearest before AssignPageIDs")
+	}
+	if k <= 0 || t.size == 0 {
+		return nil
+	}
+	h := &nnHeap{}
+	heap.Push(h, nnEntry{distSq: minDistSq(p, t.root.mbr()), node: t.root})
+	out := make([]Neighbor, 0, k)
+	for h.Len() > 0 && len(out) < k {
+		e := heap.Pop(h).(nnEntry)
+		if e.node == nil {
+			out = append(out, Neighbor{Item: e.item, Dist: math.Sqrt(e.distSq)})
+			continue
+		}
+		visit(NodeVisit{Page: e.node.page, Level: t.root.height - e.node.height})
+		for _, child := range e.node.entries {
+			d := minDistSq(p, child.rect)
+			if e.node.isLeaf() {
+				heap.Push(h, nnEntry{distSq: d, item: Item{Rect: child.rect, ID: child.id}})
+			} else {
+				heap.Push(h, nnEntry{distSq: d, node: child.child})
+			}
+		}
+	}
+	return out
+}

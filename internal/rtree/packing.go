@@ -1,0 +1,121 @@
+package rtree
+
+import (
+	"fmt"
+
+	"rtreebuf/internal/geom"
+)
+
+// Ordering arranges the rectangles of one tree level prior to grouping
+// them into nodes. Order returns a permutation of indices of rects; the
+// packer then fills nodes with groupSize consecutive rectangles in that
+// order. groupSize is the node capacity n, which slab-based orderings
+// (STR) need to shape their tiles.
+//
+// Implementations live in internal/pack (Nearest-X, Hilbert Sort, STR).
+type Ordering interface {
+	Order(rects []geom.Rect, groupSize int) []int
+}
+
+// OrderingFunc adapts a function to the Ordering interface.
+type OrderingFunc func(rects []geom.Rect, groupSize int) []int
+
+// Order implements Ordering.
+func (f OrderingFunc) Order(rects []geom.Rect, groupSize int) []int {
+	return f(rects, groupSize)
+}
+
+// Pack bulk-loads an R-tree bottom-up, implementing the paper's "General
+// Algorithm" for packing: order the R data rectangles, place each
+// consecutive group of n into a leaf, then recursively pack the leaf MBRs
+// into nodes one level up until a single root remains. The ordering is
+// re-applied at every level, as in the packing algorithms of
+// Roussopoulos–Leifker and Kamel–Faloutsos.
+//
+// Packed nodes are filled to capacity (the last node of each level may be
+// short), so MinEntries violations cannot arise during loading; the
+// resulting tree is a valid R-tree for all subsequent Insert/Delete calls.
+func Pack(p Params, items []Item, ord Ordering) (*Tree, error) {
+	np, err := p.normalized()
+	if err != nil {
+		return nil, err
+	}
+	if ord == nil {
+		return nil, fmt.Errorf("rtree: Pack requires an ordering")
+	}
+	t := &Tree{params: np}
+	if len(items) == 0 {
+		t.root = &node{height: 0}
+		return t, nil
+	}
+
+	// Leaf level.
+	rects := make([]geom.Rect, len(items))
+	for i, it := range items {
+		rects[i] = it.Rect
+	}
+	perm := ord.Order(rects, np.MaxEntries)
+	if err := checkPermutation(perm, len(items)); err != nil {
+		return nil, err
+	}
+	level := make([]*node, 0, (len(items)+np.MaxEntries-1)/np.MaxEntries)
+	for start := 0; start < len(perm); start += np.MaxEntries {
+		end := min(start+np.MaxEntries, len(perm))
+		n := &node{height: 0, entries: make([]entry, 0, end-start)}
+		for _, idx := range perm[start:end] {
+			n.entries = append(n.entries, entry{rect: items[idx].Rect, id: items[idx].ID})
+		}
+		level = append(level, n)
+	}
+
+	// Upper levels.
+	height := 0
+	for len(level) > 1 {
+		height++
+		mbrs := make([]geom.Rect, len(level))
+		for i, n := range level {
+			mbrs[i] = n.mbr()
+		}
+		perm := ord.Order(mbrs, np.MaxEntries)
+		if err := checkPermutation(perm, len(level)); err != nil {
+			return nil, err
+		}
+		var next []*node
+		for start := 0; start < len(perm); start += np.MaxEntries {
+			end := min(start+np.MaxEntries, len(perm))
+			n := &node{height: height, entries: make([]entry, 0, end-start)}
+			for _, idx := range perm[start:end] {
+				child := level[idx]
+				child.parent = n
+				n.entries = append(n.entries, entry{rect: mbrs[idx], child: child})
+			}
+			next = append(next, n)
+		}
+		level = next
+	}
+
+	t.root = level[0]
+	t.size = len(items)
+	return t, nil
+}
+
+func checkPermutation(perm []int, n int) error {
+	if len(perm) != n {
+		return fmt.Errorf("rtree: ordering returned %d indices for %d rects", len(perm), n)
+	}
+	seen := make([]bool, n)
+	for _, idx := range perm {
+		if idx < 0 || idx >= n || seen[idx] {
+			return fmt.Errorf("rtree: ordering is not a permutation (index %d)", idx)
+		}
+		seen[idx] = true
+	}
+	return nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

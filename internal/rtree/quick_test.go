@@ -1,0 +1,135 @@
+package rtree
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"rtreebuf/internal/geom"
+)
+
+// itemsFromFloats builds a deterministic item list from arbitrary quick
+// input, sanitizing non-finite values into the unit square.
+func itemsFromFloats(raw []float64) []Item {
+	var items []Item
+	for i := 0; i+3 < len(raw); i += 4 {
+		v := [4]float64{}
+		ok := true
+		for j := 0; j < 4; j++ {
+			x := raw[i+j]
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				ok = false
+				break
+			}
+			x = math.Abs(x)
+			v[j] = x - math.Floor(x) // into [0,1)
+		}
+		if !ok {
+			continue
+		}
+		items = append(items, Item{
+			Rect: geom.RectFromPoints(geom.Point{X: v[0], Y: v[1]}, geom.Point{X: v[2], Y: v[3]}),
+			ID:   int64(len(items)),
+		})
+	}
+	return items
+}
+
+// Property (testing/quick): for arbitrary rectangle sets, an
+// insertion-built tree and a packed tree contain the same items, satisfy
+// the invariants, and answer a probe query identically to brute force.
+func TestQuickInsertAndPackAgree(t *testing.T) {
+	f := func(raw []float64, capSeed uint8) bool {
+		items := itemsFromFloats(raw)
+		if len(items) == 0 {
+			return true
+		}
+		capacity := 3 + int(capSeed%14)
+		ins := MustNew(Params{MaxEntries: capacity})
+		ins.InsertAll(items)
+		packed, err := Pack(Params{MaxEntries: capacity}, items, xOrdering)
+		if err != nil {
+			return false
+		}
+		if ins.CheckInvariants() != nil || packed.CheckInvariants() != nil {
+			return false
+		}
+		if ins.Len() != len(items) || packed.Len() != len(items) {
+			return false
+		}
+		q := geom.Rect{MinX: 0.25, MinY: 0.25, MaxX: 0.75, MaxY: 0.75}
+		want := bruteSearch(items, q)
+		return equalIDs(idsOf(ins.SearchWindow(q)), want) &&
+			equalIDs(idsOf(packed.SearchWindow(q)), want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: inserting then deleting a batch restores the original search
+// semantics for every split heuristic.
+func TestQuickInsertDeleteRestores(t *testing.T) {
+	rng := rand.New(rand.NewPCG(900, 901))
+	for _, split := range []SplitAlgorithm{SplitQuadratic, SplitLinear, SplitRStar} {
+		f := func(raw []float64) bool {
+			base := itemsFromFloats(raw)
+			if len(base) == 0 {
+				return true
+			}
+			tr := MustNew(Params{MaxEntries: 6, Split: split})
+			tr.InsertAll(base)
+			before := idsOf(tr.Items())
+
+			// Insert a transient batch, then delete it.
+			extra := testItems(rng, 40)
+			for i := range extra {
+				extra[i].ID += 1 << 30
+				tr.Insert(extra[i])
+			}
+			for _, it := range extra {
+				if !tr.Delete(it) {
+					return false
+				}
+			}
+			return tr.CheckInvariants() == nil && equalIDs(idsOf(tr.Items()), before)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+			t.Errorf("split %v: %v", split, err)
+		}
+	}
+}
+
+// Property: Levels() is exhaustive and consistent — concatenating all
+// level MBRs yields NodeCount rectangles, each containing the MBRs of its
+// descendants' data that intersect it (checked via the root only, which
+// must contain every item).
+func TestQuickLevelsCoverItems(t *testing.T) {
+	f := func(raw []float64) bool {
+		items := itemsFromFloats(raw)
+		if len(items) == 0 {
+			return true
+		}
+		tr := MustNew(Params{MaxEntries: 5})
+		tr.InsertAll(items)
+		levels := tr.Levels()
+		count := 0
+		for _, lvl := range levels {
+			count += len(lvl)
+		}
+		if count != tr.NodeCount() {
+			return false
+		}
+		root := levels[0][0]
+		for _, it := range items {
+			if !root.ContainsRect(it.Rect) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

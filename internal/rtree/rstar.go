@@ -1,0 +1,218 @@
+package rtree
+
+import (
+	"math"
+	"sort"
+
+	"rtreebuf/internal/geom"
+)
+
+// This file implements the R*-tree insertion heuristics of Beckmann,
+// Kriegel, Schneider, and Seeger (SIGMOD 1990) — reference [1] of the
+// paper. Three pieces plug into the shared insertion machinery:
+//
+//   - ChooseSubtree: at the level directly above the leaves, pick the
+//     child whose MBR needs the least *overlap* enlargement (ties by area
+//     enlargement, then area); higher up, least area enlargement as in
+//     Guttman (chooseNode dispatches).
+//   - OverflowTreatment: on the first overflow at each height during one
+//     logical insertion, reinsert the reinsertFraction of entries
+//     farthest from the node's center instead of splitting.
+//   - Split: choose the split axis by minimum margin sum over all
+//     distributions, then the distribution with minimum overlap between
+//     the two groups (ties by minimum total area).
+
+// reinsertFraction is the share of an overflowing node's entries removed
+// by forced reinsertion — the 30% the R* authors found best.
+const reinsertFraction = 0.3
+
+// insertCtx tracks which heights already performed forced reinsertion
+// during one logical insertion, so OverflowTreatment reinserts at most
+// once per level and then splits (the R* rule). A nil context disables
+// reinsertion (used by CondenseTree, which is itself a reinsertion).
+type insertCtx struct {
+	reinserted map[int]bool
+}
+
+// overlapEnlargement returns how much the overlap between entries[i] and
+// its siblings grows if entries[i] is extended to include r.
+func overlapEnlargement(entries []entry, i int, r geom.Rect) float64 {
+	grown := entries[i].rect.Union(r)
+	var delta float64
+	for j := range entries {
+		if j == i {
+			continue
+		}
+		delta += intersectArea(grown, entries[j].rect) - intersectArea(entries[i].rect, entries[j].rect)
+	}
+	return delta
+}
+
+func intersectArea(a, b geom.Rect) float64 {
+	x, ok := a.Intersect(b)
+	if !ok {
+		return 0
+	}
+	return x.Area()
+}
+
+// chooseSubtreeRStar picks the child index of n (whose children are
+// leaves) for rectangle r by minimum overlap enlargement, breaking ties
+// by area enlargement and then by area.
+func chooseSubtreeRStar(n *node, r geom.Rect) int {
+	best := -1
+	var bestOverlap, bestEnl, bestArea float64
+	for i := range n.entries {
+		ov := overlapEnlargement(n.entries, i, r)
+		enl := n.entries[i].rect.Enlargement(r)
+		area := n.entries[i].rect.Area()
+		better := best == -1 || ov < bestOverlap ||
+			(ov == bestOverlap && (enl < bestEnl || (enl == bestEnl && area < bestArea)))
+		if better {
+			best, bestOverlap, bestEnl, bestArea = i, ov, enl, area
+		}
+	}
+	return best
+}
+
+// forcedReinsert removes the reinsertFraction of n's entries whose
+// centers lie farthest from the center of n's MBR, tightens the ancestors,
+// and reinserts the removed entries closest-first at n's height.
+func (t *Tree) forcedReinsert(n *node, ctx *insertCtx) {
+	p := int(math.Ceil(reinsertFraction * float64(t.params.MaxEntries)))
+	if p < 1 {
+		p = 1
+	}
+	if p >= len(n.entries) {
+		p = len(n.entries) - 1
+	}
+	center := n.mbr().Center()
+	type distEntry struct {
+		e entry
+		d float64
+	}
+	des := make([]distEntry, len(n.entries))
+	for i, e := range n.entries {
+		c := e.rect.Center()
+		dx, dy := c.X-center.X, c.Y-center.Y
+		des[i] = distEntry{e, dx*dx + dy*dy}
+	}
+	sort.SliceStable(des, func(a, b int) bool { return des[a].d > des[b].d }) // farthest first
+
+	removed := des[:p]
+	n.entries = n.entries[:0]
+	for _, de := range des[p:] {
+		n.entries = append(n.entries, de.e)
+	}
+	t.adjustUpward(n)
+
+	// Close reinsert: start with the entry closest to the node's center.
+	for i := len(removed) - 1; i >= 0; i-- {
+		t.insertEntryCtx(removed[i].e, n.height, ctx)
+	}
+}
+
+// rstarSeparator describes one candidate distribution: the sorted entry
+// sequence split after index k.
+type rstarDistribution struct {
+	entries []entry
+	k       int // first group = entries[:k]
+}
+
+// splitRStar distributes the entries of the overflowing node n per the
+// R* topological split.
+func (t *Tree) splitRStar(n *node) (left, right *node) {
+	m := t.params.MinEntries
+	total := len(n.entries)
+
+	// Build the four candidate sorts: by lower and upper value per axis.
+	sorts := map[string][]entry{
+		"xlow": sortedEntries(n.entries, func(a, b geom.Rect) bool {
+			if a.MinX != b.MinX {
+				return a.MinX < b.MinX
+			}
+			return a.MaxX < b.MaxX
+		}),
+		"xhigh": sortedEntries(n.entries, func(a, b geom.Rect) bool {
+			if a.MaxX != b.MaxX {
+				return a.MaxX < b.MaxX
+			}
+			return a.MinX < b.MinX
+		}),
+		"ylow": sortedEntries(n.entries, func(a, b geom.Rect) bool {
+			if a.MinY != b.MinY {
+				return a.MinY < b.MinY
+			}
+			return a.MaxY < b.MaxY
+		}),
+		"yhigh": sortedEntries(n.entries, func(a, b geom.Rect) bool {
+			if a.MaxY != b.MaxY {
+				return a.MaxY < b.MaxY
+			}
+			return a.MinY < b.MinY
+		}),
+	}
+
+	// ChooseSplitAxis: margin sum over all distributions of both sorts.
+	marginSum := func(es []entry) float64 {
+		prefix, suffix := prefixMBRs(es), suffixMBRs(es)
+		var s float64
+		for k := m; k <= total-m; k++ {
+			s += prefix[k-1].Margin() + suffix[k].Margin()
+		}
+		return s
+	}
+	sx := marginSum(sorts["xlow"]) + marginSum(sorts["xhigh"])
+	sy := marginSum(sorts["ylow"]) + marginSum(sorts["yhigh"])
+	var axisSorts [][]entry
+	if sx <= sy {
+		axisSorts = [][]entry{sorts["xlow"], sorts["xhigh"]}
+	} else {
+		axisSorts = [][]entry{sorts["ylow"], sorts["yhigh"]}
+	}
+
+	// ChooseSplitIndex: minimum overlap, ties by minimum total area.
+	var best rstarDistribution
+	bestOverlap, bestArea := math.Inf(1), math.Inf(1)
+	for _, es := range axisSorts {
+		prefix, suffix := prefixMBRs(es), suffixMBRs(es)
+		for k := m; k <= total-m; k++ {
+			ov := intersectArea(prefix[k-1], suffix[k])
+			area := prefix[k-1].Area() + suffix[k].Area()
+			if ov < bestOverlap || (ov == bestOverlap && area < bestArea) {
+				bestOverlap, bestArea = ov, area
+				best = rstarDistribution{es, k}
+			}
+		}
+	}
+
+	left = &node{height: n.height, entries: append([]entry(nil), best.entries[:best.k]...)}
+	right = &node{height: n.height, entries: append([]entry(nil), best.entries[best.k:]...)}
+	return left, right
+}
+
+func sortedEntries(entries []entry, less func(a, b geom.Rect) bool) []entry {
+	out := append([]entry(nil), entries...)
+	sort.SliceStable(out, func(i, j int) bool { return less(out[i].rect, out[j].rect) })
+	return out
+}
+
+// prefixMBRs[i] is the MBR of es[:i+1].
+func prefixMBRs(es []entry) []geom.Rect {
+	out := make([]geom.Rect, len(es))
+	out[0] = es[0].rect
+	for i := 1; i < len(es); i++ {
+		out[i] = out[i-1].Union(es[i].rect)
+	}
+	return out
+}
+
+// suffixMBRs[i] is the MBR of es[i:].
+func suffixMBRs(es []entry) []geom.Rect {
+	out := make([]geom.Rect, len(es))
+	out[len(es)-1] = es[len(es)-1].rect
+	for i := len(es) - 2; i >= 0; i-- {
+		out[i] = out[i+1].Union(es[i].rect)
+	}
+	return out
+}

@@ -1,0 +1,195 @@
+package rtree
+
+import "rtreebuf/internal/geom"
+
+// SearchWindow reports every stored item whose rectangle intersects q,
+// in depth-first order. This is the paper's region (window) query.
+func (t *Tree) SearchWindow(q geom.Rect) []Item {
+	var out []Item
+	t.searchNode(t.root, q, &out)
+	return out
+}
+
+// SearchPoint reports every stored item whose rectangle contains p — the
+// paper's point query (a region query of size 0 x 0).
+func (t *Tree) SearchPoint(p geom.Point) []Item {
+	return t.SearchWindow(geom.PointRect(p))
+}
+
+// SearchWindowFunc streams every item intersecting q to visit, in
+// depth-first order, without materializing a result slice. Returning
+// false from visit stops the search early (existence tests, LIMIT-style
+// queries). It reports whether the search ran to completion.
+func (t *Tree) SearchWindowFunc(q geom.Rect, visit func(Item) bool) bool {
+	var rec func(n *node) bool
+	rec = func(n *node) bool {
+		for _, e := range n.entries {
+			if !e.rect.Intersects(q) {
+				continue
+			}
+			if n.isLeaf() {
+				if !visit(Item{Rect: e.rect, ID: e.id}) {
+					return false
+				}
+			} else if !rec(e.child) {
+				return false
+			}
+		}
+		return true
+	}
+	return rec(t.root)
+}
+
+// Intersecting reports whether any stored item intersects q, descending
+// only until the first hit.
+func (t *Tree) Intersecting(q geom.Rect) bool {
+	found := false
+	t.SearchWindowFunc(q, func(Item) bool {
+		found = true
+		return false
+	})
+	return found
+}
+
+func (t *Tree) searchNode(n *node, q geom.Rect, out *[]Item) {
+	for _, e := range n.entries {
+		if !e.rect.Intersects(q) {
+			continue
+		}
+		if n.isLeaf() {
+			*out = append(*out, Item{Rect: e.rect, ID: e.id})
+		} else {
+			t.searchNode(e.child, q, out)
+		}
+	}
+}
+
+// TraceOrder selects the node-visit order reported by TraceWindow.
+type TraceOrder int
+
+const (
+	// TraceDFS visits nodes in the order a recursive R-tree search reads
+	// pages from disk: parent before children, children in entry order.
+	TraceDFS TraceOrder = iota
+	// TraceLevelOrder visits intersecting nodes level by level from the
+	// root, matching the paper's validation simulator, which "checks each
+	// node's MBR" per level rather than recursing.
+	TraceLevelOrder
+)
+
+// NodeVisit describes one node touched by a traced query.
+type NodeVisit struct {
+	// Page is the node's page number as assigned by AssignPageIDs
+	// (level-order, root = 0).
+	Page int
+	// Level is the paper-convention level (0 = root).
+	Level int
+}
+
+// TraceWindow reports every node whose MBR intersects q, in the given
+// order, invoking visit once per node. Consistent with the paper's model
+// and simulator, a node is reported iff its own MBR intersects the query —
+// including the root. (A real search always reads the root page; the model
+// instead assigns the root an access probability equal to its MBR's reach,
+// which for realistic trees is nearly 1. Both semantics are available:
+// pass strictRoot=true to force the root visit.)
+//
+// TraceWindow requires AssignPageIDs to have been called after the last
+// structural change; it panics otherwise, since silent page-number reuse
+// would corrupt buffer statistics.
+func (t *Tree) TraceWindow(q geom.Rect, order TraceOrder, strictRoot bool, visit func(NodeVisit)) {
+	if !t.pagesValid {
+		panic("rtree: TraceWindow before AssignPageIDs")
+	}
+	rootMBR := geom.Rect{}
+	rootHit := false
+	if len(t.root.entries) > 0 {
+		rootMBR = t.root.mbr()
+		rootHit = rootMBR.Intersects(q)
+	}
+	if strictRoot {
+		rootHit = true
+	}
+	if !rootHit {
+		return
+	}
+	switch order {
+	case TraceLevelOrder:
+		frontier := []*node{t.root}
+		for len(frontier) > 0 {
+			var next []*node
+			for _, n := range frontier {
+				visit(NodeVisit{Page: n.page, Level: t.root.height - n.height})
+				if n.isLeaf() {
+					continue
+				}
+				for _, e := range n.entries {
+					if e.rect.Intersects(q) {
+						next = append(next, e.child)
+					}
+				}
+			}
+			frontier = next
+		}
+	default:
+		var rec func(n *node)
+		rec = func(n *node) {
+			visit(NodeVisit{Page: n.page, Level: t.root.height - n.height})
+			if n.isLeaf() {
+				return
+			}
+			for _, e := range n.entries {
+				if e.rect.Intersects(q) {
+					rec(e.child)
+				}
+			}
+		}
+		rec(t.root)
+	}
+}
+
+// CountWindow returns the number of items intersecting q without
+// materializing them — handy for benchmarks that must not measure
+// allocation of result slices.
+func (t *Tree) CountWindow(q geom.Rect) int {
+	count := 0
+	var rec func(n *node)
+	rec = func(n *node) {
+		for _, e := range n.entries {
+			if !e.rect.Intersects(q) {
+				continue
+			}
+			if n.isLeaf() {
+				count++
+			} else {
+				rec(e.child)
+			}
+		}
+	}
+	rec(t.root)
+	return count
+}
+
+// NodesTouched returns the number of tree nodes whose MBR intersects q —
+// the bufferless "nodes visited" metric of the Kamel–Faloutsos model that
+// the paper argues is insufficient.
+func (t *Tree) NodesTouched(q geom.Rect) int {
+	count := 0
+	var rec func(n *node, mbr geom.Rect)
+	rec = func(n *node, mbr geom.Rect) {
+		if !mbr.Intersects(q) {
+			return
+		}
+		count++
+		if n.isLeaf() {
+			return
+		}
+		for _, e := range n.entries {
+			rec(e.child, e.rect)
+		}
+	}
+	if len(t.root.entries) > 0 {
+		rec(t.root, t.root.mbr())
+	}
+	return count
+}

@@ -1,0 +1,141 @@
+package rtree
+
+import (
+	"math/rand/v2"
+	"sort"
+	"testing"
+
+	"rtreebuf/internal/geom"
+)
+
+// collectTrace returns the visited pages of a traced query.
+func collectTrace(tr *Tree, q geom.Rect, order TraceOrder, strictRoot bool) []NodeVisit {
+	var out []NodeVisit
+	tr.TraceWindow(q, order, strictRoot, func(v NodeVisit) { out = append(out, v) })
+	return out
+}
+
+// intersectingPages computes, by brute force over Levels, the set of pages
+// whose MBR intersects q — what the model counts.
+func intersectingPages(tr *Tree, q geom.Rect) map[int]bool {
+	tr.AssignPageIDs()
+	pages := map[int]bool{}
+	page := 0
+	for _, lvl := range tr.Levels() {
+		for _, mbr := range lvl {
+			if mbr.Intersects(q) {
+				pages[page] = true
+			}
+			page++
+		}
+	}
+	return pages
+}
+
+func TestTraceMatchesMBRIntersections(t *testing.T) {
+	rng := rand.New(rand.NewPCG(111, 112))
+	tr, err := Pack(Params{MaxEntries: 9}, testItems(rng, 900), xOrdering)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.AssignPageIDs()
+	for i := 0; i < 100; i++ {
+		q := geom.RectAround(geom.Point{X: rng.Float64(), Y: rng.Float64()},
+			rng.Float64()*0.3, rng.Float64()*0.3)
+		want := intersectingPages(tr, q)
+		for _, order := range []TraceOrder{TraceDFS, TraceLevelOrder} {
+			got := collectTrace(tr, q, order, false)
+			if len(got) != len(want) {
+				t.Fatalf("order %v: trace visited %d pages, want %d", order, len(got), len(want))
+			}
+			seen := map[int]bool{}
+			for _, v := range got {
+				if seen[v.Page] {
+					t.Fatalf("page %d visited twice", v.Page)
+				}
+				seen[v.Page] = true
+				if !want[v.Page] {
+					t.Fatalf("page %d visited but MBR does not intersect", v.Page)
+				}
+			}
+		}
+		// NodesTouched agrees with the trace cardinality.
+		if got := tr.NodesTouched(q); got != len(want) {
+			t.Fatalf("NodesTouched = %d, want %d", got, len(want))
+		}
+	}
+}
+
+func TestTraceOrders(t *testing.T) {
+	rng := rand.New(rand.NewPCG(113, 114))
+	tr, err := Pack(Params{MaxEntries: 5}, testItems(rng, 500), xOrdering)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.AssignPageIDs()
+	q := geom.Rect{MinX: 0.2, MinY: 0.2, MaxX: 0.8, MaxY: 0.8}
+
+	// DFS: every node is visited after its parent; level may zigzag.
+	dfs := collectTrace(tr, q, TraceDFS, false)
+	if len(dfs) == 0 || dfs[0].Level != 0 {
+		t.Fatalf("DFS trace does not start at the root: %+v", dfs[:1])
+	}
+	// Level order: levels are non-decreasing.
+	lo := collectTrace(tr, q, TraceLevelOrder, false)
+	for i := 1; i < len(lo); i++ {
+		if lo[i].Level < lo[i-1].Level {
+			t.Fatalf("level-order trace decreased level at %d", i)
+		}
+	}
+	// Both visit the same set.
+	key := func(vs []NodeVisit) []int {
+		pages := make([]int, len(vs))
+		for i, v := range vs {
+			pages[i] = v.Page
+		}
+		sort.Ints(pages)
+		return pages
+	}
+	a, b := key(dfs), key(lo)
+	if len(a) != len(b) {
+		t.Fatalf("orders disagree on visit count: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("orders disagree at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestTraceStrictRoot(t *testing.T) {
+	tr := MustNew(Params{MaxEntries: 4})
+	tr.Insert(Item{Rect: geom.Rect{MinX: 0.1, MinY: 0.1, MaxX: 0.2, MaxY: 0.2}, ID: 1})
+	tr.AssignPageIDs()
+	// Query far away from all data: model semantics visit nothing.
+	q := geom.Rect{MinX: 0.8, MinY: 0.8, MaxX: 0.9, MaxY: 0.9}
+	if got := collectTrace(tr, q, TraceDFS, false); len(got) != 0 {
+		t.Errorf("model-semantics trace visited %d nodes", len(got))
+	}
+	// Strict semantics always read the root page.
+	if got := collectTrace(tr, q, TraceDFS, true); len(got) != 1 || got[0].Page != 0 {
+		t.Errorf("strict trace = %+v, want just the root", got)
+	}
+}
+
+func TestTraceRequiresPageIDs(t *testing.T) {
+	tr := MustNew(Params{MaxEntries: 4})
+	tr.Insert(Item{Rect: geom.UnitSquare, ID: 1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("TraceWindow without AssignPageIDs did not panic")
+		}
+	}()
+	tr.TraceWindow(geom.UnitSquare, TraceDFS, false, func(NodeVisit) {})
+}
+
+func TestNodesTouchedEmptyTree(t *testing.T) {
+	tr := MustNew(Params{MaxEntries: 4})
+	if got := tr.NodesTouched(geom.UnitSquare); got != 0 {
+		t.Errorf("NodesTouched on empty tree = %d", got)
+	}
+}

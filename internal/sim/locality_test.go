@@ -1,0 +1,166 @@
+package sim
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"rtreebuf/internal/core"
+	"rtreebuf/internal/geom"
+)
+
+func TestWeightedCentersValidation(t *testing.T) {
+	centers := []geom.Point{{X: 0.5, Y: 0.5}}
+	if _, err := NewWeightedCenters(0, 0, centers, []float64{1}); err != nil {
+		t.Fatal(err)
+	}
+	bad := []struct {
+		qx      float64
+		centers []geom.Point
+		weights []float64
+	}{
+		{-1, centers, []float64{1}},
+		{0, nil, nil},
+		{0, centers, []float64{1, 2}},
+		{0, centers, []float64{-1}},
+		{0, centers, []float64{0}},
+		{0, centers, []float64{math.Inf(1)}},
+	}
+	for i, tc := range bad {
+		if _, err := NewWeightedCenters(tc.qx, 0, tc.centers, tc.weights); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestWeightedCentersSampling(t *testing.T) {
+	centers := []geom.Point{{X: 0.1, Y: 0.1}, {X: 0.9, Y: 0.9}}
+	w, err := NewWeightedCenters(0, 0, centers, []float64{3, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(1, 2))
+	counts := [2]int{}
+	const n = 40000
+	for i := 0; i < n; i++ {
+		p := w.Next(rng)
+		if p.X < 0.5 {
+			counts[0]++
+		} else {
+			counts[1]++
+		}
+	}
+	frac := float64(counts[0]) / n
+	if math.Abs(frac-0.75) > 0.02 {
+		t.Errorf("hot center drawn %.3f of the time, want 0.75", frac)
+	}
+	if w.Describe() == "" {
+		t.Error("empty description")
+	}
+}
+
+// Weighted simulation agrees with the weighted model (Eq. 4 with
+// weights) — the sim-side counterpart of the core.WeightedQueries tests.
+func TestWeightedSimAgreesWithWeightedModel(t *testing.T) {
+	levels, rects := fixtureLevels(t, 5000, 25)
+	centers := geom.Centers(rects)
+	weights, err := core.ZipfWeights(len(centers), 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWeightedCenters(0, 0, centers, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qm, err := core.NewWeightedQueries(0, 0, centers, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := core.NewPredictor(levels, qm)
+	const b = 60
+	res, err := Run(levels, w, Config{BufferSize: b, Batches: 10, BatchSize: 20000, Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := pred.DiskAccesses(b)
+	if rel := math.Abs(model-res.DiskPerQuery.Mean) / math.Max(res.DiskPerQuery.Mean, 1e-9); rel > 0.08 {
+		t.Errorf("model %.4f vs sim %.4f (%.1f%%)", model, res.DiskPerQuery.Mean, 100*rel)
+	}
+}
+
+func TestRandomWalkValidation(t *testing.T) {
+	if _, err := NewRandomWalk(0); err == nil {
+		t.Error("step 0 accepted")
+	}
+	if _, err := NewRandomWalk(1); err == nil {
+		t.Error("step 1 accepted")
+	}
+	w, err := NewRandomWalk(0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Describe() == "" {
+		t.Error("empty description")
+	}
+}
+
+func TestRandomWalkStaysInUnitSquare(t *testing.T) {
+	w, err := NewRandomWalk(0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(5, 6))
+	prev := w.Next(rng)
+	var totalStep float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		p := w.Next(rng)
+		if p.X < 0 || p.X > 1 || p.Y < 0 || p.Y > 1 {
+			t.Fatalf("walk escaped: %v", p)
+		}
+		totalStep += math.Hypot(p.X-prev.X, p.Y-prev.Y)
+		prev = p
+	}
+	// Mean step magnitude should be on the order of the configured step.
+	mean := totalStep / n
+	if mean < 0.1 || mean > 0.8 {
+		t.Errorf("mean step %.3f implausible for step 0.3", mean)
+	}
+}
+
+func TestReflect01(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{0.5, 0.5}, {0, 0}, {1, 1},
+		{-0.25, 0.25}, {1.25, 0.75},
+		{2.5, 0.5}, {-1.5, 0.5},
+	}
+	for _, tc := range cases {
+		if got := reflect01(tc.in); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("reflect01(%g) = %g, want %g", tc.in, got, tc.want)
+		}
+	}
+}
+
+// Temporal locality effect, asserted: with a small step the simulated
+// disk accesses must be far below the independent-queries model.
+func TestRandomWalkBeatsIndependentModel(t *testing.T) {
+	levels, _ := fixtureLevels(t, 5000, 25)
+	qm, err := core.NewUniformQueries(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := core.NewPredictor(levels, qm)
+	const b = 50
+	walk, err := NewRandomWalk(0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(levels, walk, Config{BufferSize: b, Batches: 5, BatchSize: 20000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := pred.DiskAccesses(b)
+	if res.DiskPerQuery.Mean > model/2 {
+		t.Errorf("walk sim %.4f not well below independent model %.4f", res.DiskPerQuery.Mean, model)
+	}
+}

@@ -1,0 +1,69 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+
+	"rtreebuf/internal/buffer"
+	"rtreebuf/internal/geom"
+)
+
+// Transient measures the warm-up behaviour the steady-state model skips
+// over: starting from a cold buffer, it runs queries and records the
+// cumulative number of buffer misses at each checkpoint (ascending query
+// counts). This is the empirical counterpart of
+// core.Predictor.WarmupCurve and of the Bhide–Dan–Dias transient the
+// paper's buffer model borrows from.
+func Transient(levels [][]geom.Rect, w Workload, bufferSize int, seed uint64, checkpoints []int) ([]uint64, error) {
+	if bufferSize < 1 {
+		return nil, fmt.Errorf("sim: buffer size %d < 1", bufferSize)
+	}
+	if len(checkpoints) == 0 {
+		return nil, fmt.Errorf("sim: no checkpoints")
+	}
+	if !sort.IntsAreSorted(checkpoints) {
+		return nil, fmt.Errorf("sim: checkpoints must be ascending")
+	}
+	if checkpoints[0] < 0 {
+		return nil, fmt.Errorf("sim: negative checkpoint")
+	}
+
+	var hitRects []geom.Rect
+	for _, rects := range levels {
+		for _, r := range rects {
+			hitRects = append(hitRects, w.HitRect(r))
+		}
+	}
+	if len(hitRects) == 0 {
+		return nil, fmt.Errorf("sim: empty tree geometry")
+	}
+	idx := newPointIndex(hitRects)
+	lru := buffer.NewLRU(bufferSize, len(hitRects))
+	if seed == 0 {
+		seed = 0x7a11b007
+	}
+	rng := rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
+
+	out := make([]uint64, len(checkpoints))
+	var misses uint64
+	var scratch []int32
+	next := 0
+	for q := 0; next < len(checkpoints); q++ {
+		for next < len(checkpoints) && checkpoints[next] == q {
+			out[next] = misses
+			next++
+		}
+		if next >= len(checkpoints) {
+			break
+		}
+		p := w.Next(rng)
+		scratch = idx.candidates(p, scratch[:0])
+		for _, page := range scratch {
+			if hitRects[page].ContainsPoint(p) && !lru.Access(int(page)) {
+				misses++
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,97 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"rtreebuf/internal/core"
+)
+
+func TestTransientValidation(t *testing.T) {
+	levels, _ := fixtureLevels(t, 2000, 20)
+	if _, err := Transient(levels, UniformPoints{}, 0, 1, []int{10}); err == nil {
+		t.Error("zero buffer accepted")
+	}
+	if _, err := Transient(levels, UniformPoints{}, 10, 1, nil); err == nil {
+		t.Error("no checkpoints accepted")
+	}
+	if _, err := Transient(levels, UniformPoints{}, 10, 1, []int{10, 5}); err == nil {
+		t.Error("unsorted checkpoints accepted")
+	}
+	if _, err := Transient(levels, UniformPoints{}, 10, 1, []int{-1, 5}); err == nil {
+		t.Error("negative checkpoint accepted")
+	}
+	if _, err := Transient(nil, UniformPoints{}, 10, 1, []int{5}); err == nil {
+		t.Error("empty geometry accepted")
+	}
+}
+
+func TestTransientMonotoneAndAnchored(t *testing.T) {
+	levels, _ := fixtureLevels(t, 3000, 25)
+	checkpoints := []int{0, 1, 10, 100, 1000, 5000}
+	misses, err := Transient(levels, UniformPoints{}, 50, 9, checkpoints)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if misses[0] != 0 {
+		t.Errorf("misses at 0 queries = %d", misses[0])
+	}
+	for i := 1; i < len(misses); i++ {
+		if misses[i] < misses[i-1] {
+			t.Fatalf("cumulative misses decreased at %d", i)
+		}
+	}
+	if misses[len(misses)-1] == 0 {
+		t.Error("no misses after 5000 queries with buffer 50")
+	}
+}
+
+// The warm-up transient of the model tracks the cold-start simulation —
+// the Bhide–Dan–Dias observation the whole buffer model is built on.
+func TestTransientMatchesModelCurve(t *testing.T) {
+	levels, _ := fixtureLevels(t, 8000, 25)
+	pred := core.NewPredictor(levels, mustQM(t, 0, 0))
+	const buffer = 100
+	checkpoints := []int{100, 500, 2000, 10000, 40000}
+
+	counts := make([]float64, len(checkpoints))
+	for i, c := range checkpoints {
+		counts[i] = float64(c)
+	}
+	model := pred.WarmupCurve(buffer, counts)
+
+	// Average several seeds: a single cold start is one sample path.
+	avg := make([]float64, len(checkpoints))
+	const runs = 5
+	for s := uint64(1); s <= runs; s++ {
+		m, err := Transient(levels, UniformPoints{}, buffer, s*97, checkpoints)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range m {
+			avg[i] += float64(v) / runs
+		}
+	}
+	for i := range checkpoints {
+		rel := math.Abs(model[i].ExpectedMisses-avg[i]) / math.Max(avg[i], 1)
+		if rel > 0.12 {
+			t.Errorf("at %d queries: model %.1f vs sim %.1f (%.0f%%)",
+				checkpoints[i], model[i].ExpectedMisses, avg[i], 100*rel)
+		}
+	}
+}
+
+func TestTransientDeterministic(t *testing.T) {
+	levels, _ := fixtureLevels(t, 2000, 20)
+	a, err := Transient(levels, UniformPoints{}, 25, 5, []int{1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Transient(levels, UniformPoints{}, 25, 5, []int{1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a[0] != b[0] {
+		t.Error("same seed differs")
+	}
+}

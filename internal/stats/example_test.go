@@ -1,0 +1,20 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"rtreebuf/internal/stats"
+)
+
+// ExampleBatchMeans reproduces the paper's measurement methodology:
+// batch-means confidence intervals at 90% confidence.
+func ExampleBatchMeans() {
+	batchMeans := []float64{2.10, 2.05, 2.12, 2.08, 2.11, 2.06, 2.09, 2.07}
+	iv := stats.BatchMeans(batchMeans, 0.90)
+	fmt.Printf("mean=%.3f halfwidth=%.3f relative=%.2f%%\n",
+		iv.Mean, iv.HalfWidth, 100*iv.RelativeHalfWidth())
+	fmt.Println("covers 2.08:", iv.Contains(2.08))
+	// Output:
+	// mean=2.085 halfwidth=0.016 relative=0.79%
+	// covers 2.08: true
+}

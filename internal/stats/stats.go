@@ -1,0 +1,193 @@
+// Package stats provides the small statistical toolkit the validation
+// experiments need: summary statistics and batch-means confidence
+// intervals. The paper collects confidence intervals "using batch means
+// with 20 batches of 1,000,000 queries each, resulting in confidence
+// intervals of less than 3 percent at a 90 percent confidence level";
+// BatchMeans reproduces exactly that methodology.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary holds basic descriptive statistics of a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	StdDev float64 // sample standard deviation (n-1 denominator)
+	Min    float64
+	Max    float64
+}
+
+// Summarize computes descriptive statistics of xs. An empty sample yields
+// a zero Summary.
+func Summarize(xs []float64) Summary {
+	s := Summary{N: len(xs)}
+	if s.N == 0 {
+		return s
+	}
+	s.Min, s.Max = xs[0], xs[0]
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		s.Min = math.Min(s.Min, x)
+		s.Max = math.Max(s.Max, x)
+	}
+	s.Mean = sum / float64(s.N)
+	if s.N > 1 {
+		var ss float64
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.StdDev = math.Sqrt(ss / float64(s.N-1))
+	}
+	return s
+}
+
+// Interval is a symmetric confidence interval around a point estimate.
+type Interval struct {
+	Mean       float64
+	HalfWidth  float64
+	Confidence float64 // e.g. 0.90
+	Batches    int
+}
+
+// Lo returns the lower endpoint of the interval.
+func (iv Interval) Lo() float64 { return iv.Mean - iv.HalfWidth }
+
+// Hi returns the upper endpoint of the interval.
+func (iv Interval) Hi() float64 { return iv.Mean + iv.HalfWidth }
+
+// RelativeHalfWidth returns HalfWidth / |Mean|, the "percent" figure the
+// paper quotes ("confidence intervals of less than 3 percent"). It returns
+// +Inf for a zero mean with a non-zero half width, and 0 when both are zero.
+func (iv Interval) RelativeHalfWidth() float64 {
+	if iv.Mean == 0 {
+		if iv.HalfWidth == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return iv.HalfWidth / math.Abs(iv.Mean)
+}
+
+// Contains reports whether v lies inside the interval.
+func (iv Interval) Contains(v float64) bool {
+	return v >= iv.Lo() && v <= iv.Hi()
+}
+
+// String implements fmt.Stringer.
+func (iv Interval) String() string {
+	return fmt.Sprintf("%.6g ± %.3g (%.0f%%, %d batches)",
+		iv.Mean, iv.HalfWidth, iv.Confidence*100, iv.Batches)
+}
+
+// BatchMeans computes a confidence interval from per-batch means using the
+// Student t distribution with len(batchMeans)-1 degrees of freedom. It
+// needs at least two batches; with fewer it returns the mean with an
+// infinite half width rather than pretending to certainty.
+func BatchMeans(batchMeans []float64, confidence float64) Interval {
+	s := Summarize(batchMeans)
+	iv := Interval{Mean: s.Mean, Confidence: confidence, Batches: s.N}
+	if s.N < 2 {
+		iv.HalfWidth = math.Inf(1)
+		return iv
+	}
+	t := TQuantile(s.N-1, 1-(1-confidence)/2)
+	iv.HalfWidth = t * s.StdDev / math.Sqrt(float64(s.N))
+	return iv
+}
+
+// TQuantile returns the p-quantile of the Student t distribution with df
+// degrees of freedom, computed via the Cornish–Fisher style expansion of
+// the normal quantile (Peizer–Pratt refinement). Accuracy is better than
+// 1e-3 for df >= 3, ample for confidence-interval reporting.
+func TQuantile(df int, p float64) float64 {
+	if df <= 0 {
+		panic(fmt.Sprintf("stats: t quantile with df=%d", df))
+	}
+	z := NormQuantile(p)
+	n := float64(df)
+	// Hill's asymptotic expansion of the t quantile in powers of 1/df.
+	z2 := z * z
+	g1 := (z2 + 1) / 4
+	g2 := ((5*z2+16)*z2 + 3) / 96
+	g3 := (((3*z2+19)*z2+17)*z2 - 15) / 384
+	g4 := ((((79*z2+776)*z2+1482)*z2-1920)*z2 - 945) / 92160
+	return z * (1 + g1/n + g2/(n*n) + g3/(n*n*n) + g4/(n*n*n*n))
+}
+
+// NormQuantile returns the p-quantile of the standard normal distribution
+// using the Acklam rational approximation (relative error < 1.15e-9).
+func NormQuantile(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		panic(fmt.Sprintf("stats: normal quantile of p=%g", p))
+	}
+	// Coefficients of Acklam's approximation.
+	a := [6]float64{-3.969683028665376e+01, 2.209460984245205e+02,
+		-2.759285104469687e+02, 1.383577518672690e+02,
+		-3.066479806614716e+01, 2.506628277459239e+00}
+	b := [5]float64{-5.447609879822406e+01, 1.615858368580409e+02,
+		-1.556989798598866e+02, 6.680131188771972e+01,
+		-1.328068155288572e+01}
+	c := [6]float64{-7.784894002430293e-03, -3.223964580411365e-01,
+		-2.400758277161838e+00, -2.549732539343734e+00,
+		4.374664141464968e+00, 2.938163982698783e+00}
+	d := [4]float64{7.784695709041462e-03, 3.224671290700398e-01,
+		2.445134137142996e+00, 3.754408661907416e+00}
+
+	const plow = 0.02425
+	switch {
+	case p < plow:
+		q := math.Sqrt(-2 * math.Log(p))
+		return (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p > 1-plow:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		return -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	default:
+		q := p - 0.5
+		r := q * q
+		return (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	}
+}
+
+// PercentDiff returns (got-want)/want as the signed relative difference
+// the paper reports in Table 1 ("percent difference relative to the
+// simulation"). A zero want with non-zero got yields +/-Inf.
+func PercentDiff(want, got float64) float64 {
+	if want == 0 {
+		if got == 0 {
+			return 0
+		}
+		return math.Inf(sign(got))
+	}
+	return (got - want) / want
+}
+
+func sign(v float64) int {
+	if v < 0 {
+		return -1
+	}
+	return 1
+}
+
+// Median returns the median of xs (average of the two central elements for
+// even lengths). It returns 0 for an empty sample.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	m := len(cp) / 2
+	if len(cp)%2 == 1 {
+		return cp[m]
+	}
+	return (cp[m-1] + cp[m]) / 2
+}

@@ -1,0 +1,220 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 || s.Mean != 5 || s.Min != 2 || s.Max != 9 {
+		t.Errorf("Summary = %+v", s)
+	}
+	// Sample std dev of this classic set is sqrt(32/7).
+	if want := math.Sqrt(32.0 / 7.0); math.Abs(s.StdDev-want) > 1e-12 {
+		t.Errorf("StdDev = %g, want %g", s.StdDev, want)
+	}
+}
+
+func TestSummarizeEdge(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 || s.Mean != 0 {
+		t.Errorf("empty Summary = %+v", s)
+	}
+	s := Summarize([]float64{3})
+	if s.N != 1 || s.Mean != 3 || s.StdDev != 0 || s.Min != 3 || s.Max != 3 {
+		t.Errorf("single Summary = %+v", s)
+	}
+}
+
+func TestNormQuantileKnownValues(t *testing.T) {
+	cases := []struct{ p, want float64 }{
+		{0.5, 0},
+		{0.975, 1.959964},
+		{0.95, 1.644854},
+		{0.90, 1.281552},
+		{0.025, -1.959964},
+		{0.0001, -3.719016},
+		{0.9999, 3.719016},
+	}
+	for _, tc := range cases {
+		if got := NormQuantile(tc.p); math.Abs(got-tc.want) > 1e-4 {
+			t.Errorf("NormQuantile(%g) = %g, want %g", tc.p, got, tc.want)
+		}
+	}
+}
+
+func TestNormQuantileMonotone(t *testing.T) {
+	prev := math.Inf(-1)
+	for p := 0.001; p < 1; p += 0.001 {
+		v := NormQuantile(p)
+		if v < prev {
+			t.Fatalf("NormQuantile not monotone at p=%g", p)
+		}
+		prev = v
+	}
+}
+
+func TestNormQuantilePanics(t *testing.T) {
+	for _, p := range []float64{0, 1, -0.5, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NormQuantile(%g) did not panic", p)
+				}
+			}()
+			NormQuantile(p)
+		}()
+	}
+}
+
+func TestTQuantileKnownValues(t *testing.T) {
+	// Standard t-table, two-sided 90% (p = 0.95) and 95% (p = 0.975).
+	cases := []struct {
+		df   int
+		p    float64
+		want float64
+		tol  float64
+	}{
+		{19, 0.95, 1.729, 0.01}, // the paper's 20 batches
+		{19, 0.975, 2.093, 0.01},
+		{9, 0.95, 1.833, 0.01},
+		{30, 0.95, 1.697, 0.01},
+		{100, 0.975, 1.984, 0.01},
+		{5, 0.95, 2.015, 0.02},
+	}
+	for _, tc := range cases {
+		if got := TQuantile(tc.df, tc.p); math.Abs(got-tc.want) > tc.tol {
+			t.Errorf("TQuantile(%d, %g) = %g, want %g", tc.df, tc.p, got, tc.want)
+		}
+	}
+}
+
+func TestTQuantileApproachesNormal(t *testing.T) {
+	if got, want := TQuantile(100000, 0.95), NormQuantile(0.95); math.Abs(got-want) > 1e-4 {
+		t.Errorf("TQuantile(1e5) = %g, normal = %g", got, want)
+	}
+}
+
+func TestBatchMeans(t *testing.T) {
+	batches := []float64{10, 11, 9, 10.5, 9.5, 10, 10.2, 9.8}
+	iv := BatchMeans(batches, 0.90)
+	if math.Abs(iv.Mean-10) > 1e-12 {
+		t.Errorf("Mean = %g", iv.Mean)
+	}
+	if iv.Batches != 8 || iv.Confidence != 0.90 {
+		t.Errorf("Interval = %+v", iv)
+	}
+	if iv.HalfWidth <= 0 || iv.HalfWidth > 1 {
+		t.Errorf("HalfWidth = %g outside plausible range", iv.HalfWidth)
+	}
+	if !iv.Contains(10) || iv.Contains(20) {
+		t.Error("Contains misbehaves")
+	}
+	if iv.Lo() >= iv.Hi() {
+		t.Error("degenerate interval")
+	}
+}
+
+func TestBatchMeansTooFew(t *testing.T) {
+	iv := BatchMeans([]float64{5}, 0.9)
+	if !math.IsInf(iv.HalfWidth, 1) {
+		t.Errorf("single batch HalfWidth = %g, want +Inf", iv.HalfWidth)
+	}
+}
+
+// Statistical property: the 90% interval from batch means of a known
+// distribution covers the true mean in roughly 90% of repetitions.
+func TestBatchMeansCoverage(t *testing.T) {
+	rng := rand.New(rand.NewPCG(77, 78))
+	const trials = 400
+	covered := 0
+	for trial := 0; trial < trials; trial++ {
+		batches := make([]float64, 20)
+		for b := range batches {
+			var sum float64
+			for i := 0; i < 50; i++ {
+				sum += rng.Float64() // mean 0.5
+			}
+			batches[b] = sum / 50
+		}
+		if BatchMeans(batches, 0.90).Contains(0.5) {
+			covered++
+		}
+	}
+	rate := float64(covered) / trials
+	if rate < 0.82 || rate > 0.97 {
+		t.Errorf("90%% interval covered the mean %.1f%% of the time", 100*rate)
+	}
+}
+
+func TestRelativeHalfWidth(t *testing.T) {
+	iv := Interval{Mean: 10, HalfWidth: 0.3}
+	if got := iv.RelativeHalfWidth(); math.Abs(got-0.03) > 1e-12 {
+		t.Errorf("RelativeHalfWidth = %g", got)
+	}
+	if got := (Interval{Mean: 0, HalfWidth: 1}).RelativeHalfWidth(); !math.IsInf(got, 1) {
+		t.Errorf("zero-mean RelativeHalfWidth = %g", got)
+	}
+	if got := (Interval{}).RelativeHalfWidth(); got != 0 {
+		t.Errorf("zero interval RelativeHalfWidth = %g", got)
+	}
+}
+
+func TestPercentDiff(t *testing.T) {
+	if got := PercentDiff(10, 11); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("PercentDiff = %g", got)
+	}
+	if got := PercentDiff(10, 9); math.Abs(got+0.1) > 1e-12 {
+		t.Errorf("PercentDiff = %g", got)
+	}
+	if got := PercentDiff(0, 0); got != 0 {
+		t.Errorf("PercentDiff(0,0) = %g", got)
+	}
+	if got := PercentDiff(0, 5); !math.IsInf(got, 1) {
+		t.Errorf("PercentDiff(0,5) = %g", got)
+	}
+	if got := PercentDiff(0, -5); !math.IsInf(got, -1) {
+		t.Errorf("PercentDiff(0,-5) = %g", got)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if got := Median([]float64{3, 1, 2}); got != 2 {
+		t.Errorf("Median odd = %g", got)
+	}
+	if got := Median([]float64{4, 1, 3, 2}); got != 2.5 {
+		t.Errorf("Median even = %g", got)
+	}
+	if got := Median(nil); got != 0 {
+		t.Errorf("Median empty = %g", got)
+	}
+	// Median must not mutate its input.
+	in := []float64{9, 1, 5}
+	Median(in)
+	if in[0] != 9 || in[1] != 1 || in[2] != 5 {
+		t.Error("Median mutated input")
+	}
+}
+
+// Property: the interval mean equals the sample mean and half width is
+// non-negative for any finite sample.
+func TestBatchMeansQuick(t *testing.T) {
+	f := func(raw []float64) bool {
+		batches := raw[:0]
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e12 {
+				batches = append(batches, v)
+			}
+		}
+		if len(batches) < 2 {
+			return true
+		}
+		iv := BatchMeans(batches, 0.9)
+		return iv.HalfWidth >= 0 && iv.Contains(iv.Mean)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

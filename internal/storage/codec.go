@@ -1,0 +1,137 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"rtreebuf/internal/geom"
+	"rtreebuf/internal/rtree"
+)
+
+// Node page layout (little endian):
+//
+//	0:1   flags (bit 0: leaf)
+//	1:2   reserved
+//	2:4   entry count
+//	4:8   level (paper convention, 0 = root)
+//	8:12  CRC-32C of the rest of the page (header with zeroed checksum
+//	      field + all entry bytes) — torn or corrupted pages fail decode
+//	      instead of silently yielding a wrong query result
+//	12:16 reserved
+//	16:   entries, entrySize bytes each:
+//	      0:32  rect (MinX, MinY, MaxX, MaxY as float64)
+//	      32:40 payload: child page (uint64) for internal nodes,
+//	            data ID (int64) for leaves
+const (
+	nodeHeaderSize = 16
+	entrySize      = 40
+	flagLeaf       = 1
+	checksumOffset = 8
+)
+
+// NodeCapacity returns the maximum entries per node a page of the given
+// size can hold.
+func NodeCapacity(pageSize int) int {
+	return (pageSize - nodeHeaderSize) / entrySize
+}
+
+// EncodeNode serializes nd into a fresh page of the given size.
+func EncodeNode(nd rtree.NodeData, pageSize int) ([]byte, error) {
+	if len(nd.Rects) > NodeCapacity(pageSize) {
+		return nil, fmt.Errorf("storage: node with %d entries exceeds page capacity %d",
+			len(nd.Rects), NodeCapacity(pageSize))
+	}
+	buf := make([]byte, pageSize)
+	if nd.Leaf {
+		buf[0] = flagLeaf
+	}
+	binary.LittleEndian.PutUint16(buf[2:4], uint16(len(nd.Rects)))
+	binary.LittleEndian.PutUint32(buf[4:8], uint32(nd.Level))
+	off := nodeHeaderSize
+	for i, r := range nd.Rects {
+		putFloat(buf[off:], r.MinX)
+		putFloat(buf[off+8:], r.MinY)
+		putFloat(buf[off+16:], r.MaxX)
+		putFloat(buf[off+24:], r.MaxY)
+		if nd.Leaf {
+			binary.LittleEndian.PutUint64(buf[off+32:], uint64(nd.IDs[i]))
+		} else {
+			binary.LittleEndian.PutUint64(buf[off+32:], uint64(nd.Children[i]))
+		}
+		off += entrySize
+	}
+	binary.LittleEndian.PutUint32(buf[checksumOffset:], pageChecksum(buf))
+	return buf, nil
+}
+
+// pageChecksum computes the CRC-32C of the page with the checksum field
+// treated as zero.
+func pageChecksum(buf []byte) uint32 {
+	crc := crc32.New(castagnoli)
+	crc.Write(buf[:checksumOffset])
+	crc.Write(zeroChecksum[:])
+	crc.Write(buf[checksumOffset+4:])
+	return crc.Sum32()
+}
+
+var (
+	castagnoli   = crc32.MakeTable(crc32.Castagnoli)
+	zeroChecksum [4]byte
+)
+
+// DecodeNode parses a node page. page is recorded into the result; the
+// buffer is not retained.
+func DecodeNode(buf []byte, page int) (rtree.NodeData, error) {
+	if len(buf) < nodeHeaderSize {
+		return rtree.NodeData{}, fmt.Errorf("storage: page %d too short (%d bytes)", page, len(buf))
+	}
+	if got, want := binary.LittleEndian.Uint32(buf[checksumOffset:]), pageChecksum(buf); got != want {
+		return rtree.NodeData{}, fmt.Errorf("storage: page %d checksum mismatch (%08x != %08x): corrupt or torn page", page, got, want)
+	}
+	nd := rtree.NodeData{
+		Page:  page,
+		Leaf:  buf[0]&flagLeaf != 0,
+		Level: int(binary.LittleEndian.Uint32(buf[4:8])),
+	}
+	count := int(binary.LittleEndian.Uint16(buf[2:4]))
+	if nodeHeaderSize+count*entrySize > len(buf) {
+		return rtree.NodeData{}, fmt.Errorf("storage: page %d claims %d entries beyond page end", page, count)
+	}
+	nd.Rects = make([]geom.Rect, count)
+	if nd.Leaf {
+		nd.IDs = make([]int64, count)
+	} else {
+		nd.Children = make([]int, count)
+	}
+	off := nodeHeaderSize
+	for i := 0; i < count; i++ {
+		nd.Rects[i] = geom.Rect{
+			MinX: getFloat(buf[off:]),
+			MinY: getFloat(buf[off+8:]),
+			MaxX: getFloat(buf[off+16:]),
+			MaxY: getFloat(buf[off+24:]),
+		}
+		if !nd.Rects[i].Valid() {
+			return rtree.NodeData{}, fmt.Errorf("storage: page %d entry %d has invalid rect %v",
+				page, i, nd.Rects[i])
+		}
+		payload := binary.LittleEndian.Uint64(buf[off+32:])
+		if nd.Leaf {
+			nd.IDs[i] = int64(payload)
+		} else {
+			nd.Children[i] = int(payload)
+		}
+		off += entrySize
+	}
+	return nd, nil
+}
+
+func putFloat(b []byte, v float64) {
+	binary.LittleEndian.PutUint64(b, math.Float64bits(v))
+}
+
+func getFloat(b []byte) float64 {
+	return math.Float64frombits(binary.LittleEndian.Uint64(b))
+}

@@ -1,0 +1,316 @@
+// Package storage provides the paged persistence substrate that turns
+// "disk access" from a modeling abstraction into a countable event: fixed
+// size pages, a node codec, file-backed and in-memory disk managers with
+// I/O accounting, whole-tree save/load, and a PagedTree that executes
+// queries by reading node pages through an LRU buffer pool — the
+// end-to-end system the paper's cost model predicts.
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+)
+
+// DefaultPageSize is the page size used throughout the experiments: a
+// conventional 4 KiB database page, large enough for the paper's node
+// capacities (up to 100 entries).
+const DefaultPageSize = 4096
+
+// MinPageSize bounds how small a page may be and still hold the node
+// header plus one entry.
+const MinPageSize = nodeHeaderSize + entrySize
+
+// IOStats counts physical page transfers.
+type IOStats struct {
+	Reads, Writes uint64
+}
+
+// DiskManager stores fixed-size pages addressed by dense integers, plus a
+// small metadata blob (tree catalog). Implementations count I/O.
+type DiskManager interface {
+	// PageSize returns the fixed page size in bytes.
+	PageSize() int
+	// NumPages returns the number of allocated pages.
+	NumPages() int
+	// ReadPage fills dst (len >= PageSize) with page's contents.
+	ReadPage(page int, dst []byte) error
+	// WritePage stores data (len == PageSize) as page's contents,
+	// allocating any pages up to and including it.
+	WritePage(page int, data []byte) error
+	// WriteMeta stores the metadata blob (at most PageSize bytes).
+	WriteMeta(meta []byte) error
+	// ReadMeta returns a copy of the metadata blob.
+	ReadMeta() ([]byte, error)
+	// Stats returns cumulative I/O counts.
+	Stats() IOStats
+	// ResetStats zeroes the I/O counters.
+	ResetStats()
+	// Close releases resources. The manager is unusable afterwards.
+	Close() error
+}
+
+// MemoryManager is an in-memory DiskManager: the experiments' default,
+// where "disk" reads are counted but cost nothing. It lets the full test
+// suite exercise the identical code path as the file manager.
+type MemoryManager struct {
+	pageSize int
+	pages    [][]byte
+	meta     []byte
+	stats    IOStats
+	closed   bool
+}
+
+// NewMemoryManager returns an empty in-memory manager.
+func NewMemoryManager(pageSize int) (*MemoryManager, error) {
+	if pageSize < MinPageSize {
+		return nil, fmt.Errorf("storage: page size %d < minimum %d", pageSize, MinPageSize)
+	}
+	return &MemoryManager{pageSize: pageSize}, nil
+}
+
+// PageSize implements DiskManager.
+func (m *MemoryManager) PageSize() int { return m.pageSize }
+
+// NumPages implements DiskManager.
+func (m *MemoryManager) NumPages() int { return len(m.pages) }
+
+// ReadPage implements DiskManager.
+func (m *MemoryManager) ReadPage(page int, dst []byte) error {
+	if m.closed {
+		return fmt.Errorf("storage: read on closed manager")
+	}
+	if page < 0 || page >= len(m.pages) {
+		return fmt.Errorf("storage: read of unallocated page %d (have %d)", page, len(m.pages))
+	}
+	if len(dst) < m.pageSize {
+		return fmt.Errorf("storage: read buffer %d < page size %d", len(dst), m.pageSize)
+	}
+	copy(dst, m.pages[page])
+	m.stats.Reads++
+	return nil
+}
+
+// WritePage implements DiskManager.
+func (m *MemoryManager) WritePage(page int, data []byte) error {
+	if m.closed {
+		return fmt.Errorf("storage: write on closed manager")
+	}
+	if page < 0 {
+		return fmt.Errorf("storage: write of negative page %d", page)
+	}
+	if len(data) != m.pageSize {
+		return fmt.Errorf("storage: write of %d bytes != page size %d", len(data), m.pageSize)
+	}
+	for len(m.pages) <= page {
+		m.pages = append(m.pages, make([]byte, m.pageSize))
+	}
+	copy(m.pages[page], data)
+	m.stats.Writes++
+	return nil
+}
+
+// WriteMeta implements DiskManager.
+func (m *MemoryManager) WriteMeta(meta []byte) error {
+	if len(meta) > m.pageSize {
+		return fmt.Errorf("storage: metadata %d bytes > page size %d", len(meta), m.pageSize)
+	}
+	m.meta = append([]byte(nil), meta...)
+	return nil
+}
+
+// ReadMeta implements DiskManager.
+func (m *MemoryManager) ReadMeta() ([]byte, error) {
+	return append([]byte(nil), m.meta...), nil
+}
+
+// Stats implements DiskManager.
+func (m *MemoryManager) Stats() IOStats { return m.stats }
+
+// ResetStats implements DiskManager.
+func (m *MemoryManager) ResetStats() { m.stats = IOStats{} }
+
+// Close implements DiskManager.
+func (m *MemoryManager) Close() error {
+	m.closed = true
+	m.pages = nil
+	return nil
+}
+
+// File format of FileManager:
+//
+//	offset 0:                 header (one page-sized block)
+//	offset pageSize*(1+meta): page 0, page 1, ...
+//
+// header layout (little endian):
+//
+//	0:8   magic "RTREEBUF"
+//	8:12  format version (1)
+//	12:16 page size
+//	16:20 number of pages
+//	20:24 metadata length
+//	24:   metadata blob (up to pageSize-24 bytes)
+const (
+	fileMagic     = "RTREEBUF"
+	formatVersion = 1
+	headerFixed   = 24
+)
+
+// FileManager is a file-backed DiskManager using positional I/O.
+type FileManager struct {
+	f        *os.File
+	pageSize int
+	numPages int
+	meta     []byte
+	stats    IOStats
+}
+
+// CreateFile creates (or truncates) a page file at path.
+func CreateFile(path string, pageSize int) (*FileManager, error) {
+	if pageSize < MinPageSize {
+		return nil, fmt.Errorf("storage: page size %d < minimum %d", pageSize, MinPageSize)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("storage: creating %s: %w", path, err)
+	}
+	fm := &FileManager{f: f, pageSize: pageSize}
+	if err := fm.writeHeader(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return fm, nil
+}
+
+// OpenFile opens an existing page file.
+func OpenFile(path string) (*FileManager, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return nil, fmt.Errorf("storage: opening %s: %w", path, err)
+	}
+	hdr := make([]byte, headerFixed)
+	if _, err := io.ReadFull(io.NewSectionReader(f, 0, headerFixed), hdr); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("storage: reading header of %s: %w", path, err)
+	}
+	if string(hdr[0:8]) != fileMagic {
+		f.Close()
+		return nil, fmt.Errorf("storage: %s is not an rtreebuf page file", path)
+	}
+	if v := binary.LittleEndian.Uint32(hdr[8:12]); v != formatVersion {
+		f.Close()
+		return nil, fmt.Errorf("storage: %s has format version %d, want %d", path, v, formatVersion)
+	}
+	fm := &FileManager{
+		f:        f,
+		pageSize: int(binary.LittleEndian.Uint32(hdr[12:16])),
+		numPages: int(binary.LittleEndian.Uint32(hdr[16:20])),
+	}
+	metaLen := int(binary.LittleEndian.Uint32(hdr[20:24]))
+	if metaLen > 0 {
+		if metaLen > fm.pageSize-headerFixed {
+			f.Close()
+			return nil, fmt.Errorf("storage: %s metadata length %d corrupt", path, metaLen)
+		}
+		fm.meta = make([]byte, metaLen)
+		if _, err := f.ReadAt(fm.meta, headerFixed); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("storage: reading metadata of %s: %w", path, err)
+		}
+	}
+	return fm, nil
+}
+
+func (fm *FileManager) writeHeader() error {
+	if len(fm.meta) > fm.pageSize-headerFixed {
+		return fmt.Errorf("storage: metadata %d bytes > header capacity %d",
+			len(fm.meta), fm.pageSize-headerFixed)
+	}
+	hdr := make([]byte, fm.pageSize)
+	copy(hdr[0:8], fileMagic)
+	binary.LittleEndian.PutUint32(hdr[8:12], formatVersion)
+	binary.LittleEndian.PutUint32(hdr[12:16], uint32(fm.pageSize))
+	binary.LittleEndian.PutUint32(hdr[16:20], uint32(fm.numPages))
+	binary.LittleEndian.PutUint32(hdr[20:24], uint32(len(fm.meta)))
+	copy(hdr[headerFixed:], fm.meta)
+	if _, err := fm.f.WriteAt(hdr, 0); err != nil {
+		return fmt.Errorf("storage: writing header: %w", err)
+	}
+	return nil
+}
+
+func (fm *FileManager) pageOffset(page int) int64 {
+	return int64(fm.pageSize) * int64(page+1)
+}
+
+// PageSize implements DiskManager.
+func (fm *FileManager) PageSize() int { return fm.pageSize }
+
+// NumPages implements DiskManager.
+func (fm *FileManager) NumPages() int { return fm.numPages }
+
+// ReadPage implements DiskManager.
+func (fm *FileManager) ReadPage(page int, dst []byte) error {
+	if page < 0 || page >= fm.numPages {
+		return fmt.Errorf("storage: read of unallocated page %d (have %d)", page, fm.numPages)
+	}
+	if len(dst) < fm.pageSize {
+		return fmt.Errorf("storage: read buffer %d < page size %d", len(dst), fm.pageSize)
+	}
+	if _, err := fm.f.ReadAt(dst[:fm.pageSize], fm.pageOffset(page)); err != nil {
+		return fmt.Errorf("storage: reading page %d: %w", page, err)
+	}
+	fm.stats.Reads++
+	return nil
+}
+
+// WritePage implements DiskManager.
+func (fm *FileManager) WritePage(page int, data []byte) error {
+	if page < 0 {
+		return fmt.Errorf("storage: write of negative page %d", page)
+	}
+	if len(data) != fm.pageSize {
+		return fmt.Errorf("storage: write of %d bytes != page size %d", len(data), fm.pageSize)
+	}
+	if _, err := fm.f.WriteAt(data, fm.pageOffset(page)); err != nil {
+		return fmt.Errorf("storage: writing page %d: %w", page, err)
+	}
+	fm.stats.Writes++
+	if page >= fm.numPages {
+		fm.numPages = page + 1
+		return fm.writeHeader()
+	}
+	return nil
+}
+
+// WriteMeta implements DiskManager.
+func (fm *FileManager) WriteMeta(meta []byte) error {
+	old := fm.meta
+	fm.meta = append([]byte(nil), meta...)
+	if err := fm.writeHeader(); err != nil {
+		fm.meta = old
+		return err
+	}
+	return nil
+}
+
+// ReadMeta implements DiskManager.
+func (fm *FileManager) ReadMeta() ([]byte, error) {
+	return append([]byte(nil), fm.meta...), nil
+}
+
+// Stats implements DiskManager.
+func (fm *FileManager) Stats() IOStats { return fm.stats }
+
+// ResetStats implements DiskManager.
+func (fm *FileManager) ResetStats() { fm.stats = IOStats{} }
+
+// Close implements DiskManager.
+func (fm *FileManager) Close() error {
+	if err := fm.f.Sync(); err != nil {
+		fm.f.Close()
+		return fmt.Errorf("storage: syncing: %w", err)
+	}
+	return fm.f.Close()
+}

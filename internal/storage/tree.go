@@ -1,0 +1,356 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"rtreebuf/internal/buffer"
+	"rtreebuf/internal/geom"
+	"rtreebuf/internal/rtree"
+)
+
+// TreeMeta is the catalog entry of a persisted R-tree.
+type TreeMeta struct {
+	MaxEntries int
+	MinEntries int
+	Split      rtree.SplitAlgorithm
+	Items      int   // number of data rectangles
+	Levels     []int // nodes per level, root first (pages of level i are contiguous)
+}
+
+// NumPages returns the total node pages.
+func (m TreeMeta) NumPages() int {
+	n := 0
+	for _, c := range m.Levels {
+		n += c
+	}
+	return n
+}
+
+// LevelPageRange returns the half-open page range [lo,hi) of the given
+// level: page numbering is level order, so each level is contiguous.
+func (m TreeMeta) LevelPageRange(level int) (lo, hi int) {
+	for i := 0; i < level; i++ {
+		lo += m.Levels[i]
+	}
+	return lo, lo + m.Levels[level]
+}
+
+const metaMagic = uint32(0x52545231) // "RTR1"
+
+func encodeMeta(m TreeMeta) []byte {
+	buf := make([]byte, 0, 32+8*len(m.Levels))
+	var tmp [8]byte
+	put32 := func(v uint32) {
+		binary.LittleEndian.PutUint32(tmp[:4], v)
+		buf = append(buf, tmp[:4]...)
+	}
+	put64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(tmp[:8], v)
+		buf = append(buf, tmp[:8]...)
+	}
+	put32(metaMagic)
+	put32(uint32(m.MaxEntries))
+	put32(uint32(m.MinEntries))
+	put32(uint32(m.Split))
+	put64(uint64(m.Items))
+	put32(uint32(len(m.Levels)))
+	for _, c := range m.Levels {
+		put32(uint32(c))
+	}
+	return buf
+}
+
+func decodeMeta(buf []byte) (TreeMeta, error) {
+	var m TreeMeta
+	if len(buf) < 28 {
+		return m, fmt.Errorf("storage: tree metadata truncated (%d bytes)", len(buf))
+	}
+	if binary.LittleEndian.Uint32(buf[0:4]) != metaMagic {
+		return m, fmt.Errorf("storage: bad tree metadata magic")
+	}
+	m.MaxEntries = int(binary.LittleEndian.Uint32(buf[4:8]))
+	m.MinEntries = int(binary.LittleEndian.Uint32(buf[8:12]))
+	m.Split = rtree.SplitAlgorithm(binary.LittleEndian.Uint32(buf[12:16]))
+	m.Items = int(binary.LittleEndian.Uint64(buf[16:24]))
+	n := int(binary.LittleEndian.Uint32(buf[24:28]))
+	if len(buf) < 28+4*n {
+		return m, fmt.Errorf("storage: tree metadata truncated (levels)")
+	}
+	m.Levels = make([]int, n)
+	for i := 0; i < n; i++ {
+		m.Levels[i] = int(binary.LittleEndian.Uint32(buf[28+4*i:]))
+	}
+	return m, nil
+}
+
+// SaveTree writes every node of t to dm in level order (root = page 0)
+// and records the catalog in the manager's metadata.
+func SaveTree(dm DiskManager, t *rtree.Tree) error {
+	if cap := NodeCapacity(dm.PageSize()); t.Params().MaxEntries > cap {
+		return fmt.Errorf("storage: node capacity %d exceeds page capacity %d (page size %d)",
+			t.Params().MaxEntries, cap, dm.PageSize())
+	}
+	nodes := t.ExportNodes()
+	for _, nd := range nodes {
+		page, err := EncodeNode(nd, dm.PageSize())
+		if err != nil {
+			return err
+		}
+		if err := dm.WritePage(nd.Page, page); err != nil {
+			return err
+		}
+	}
+	meta := TreeMeta{
+		MaxEntries: t.Params().MaxEntries,
+		MinEntries: t.Params().MinEntries,
+		Split:      t.Params().Split,
+		Items:      t.Len(),
+		Levels:     t.NodesPerLevel(),
+	}
+	return dm.WriteMeta(encodeMeta(meta))
+}
+
+// LoadTree reads a persisted tree fully into memory, validating its
+// structure. Use OpenPagedTree instead to query on-disk pages through a
+// buffer pool.
+func LoadTree(dm DiskManager) (*rtree.Tree, error) {
+	metaBuf, err := dm.ReadMeta()
+	if err != nil {
+		return nil, err
+	}
+	meta, err := decodeMeta(metaBuf)
+	if err != nil {
+		return nil, err
+	}
+	n := meta.NumPages()
+	nodes := make([]rtree.NodeData, n)
+	buf := make([]byte, dm.PageSize())
+	for page := 0; page < n; page++ {
+		if err := dm.ReadPage(page, buf); err != nil {
+			return nil, err
+		}
+		nodes[page], err = DecodeNode(buf, page)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return rtree.ImportNodes(rtree.Params{
+		MaxEntries: meta.MaxEntries,
+		MinEntries: meta.MinEntries,
+		Split:      meta.Split,
+	}, nodes)
+}
+
+// PagedTree executes R-tree queries directly against stored pages through
+// an LRU buffer pool: every pool miss is one counted disk access. It is
+// the end-to-end realization of the system the paper models — compare its
+// measured misses per query with core.Predictor.DiskAccesses.
+type PagedTree struct {
+	dm   DiskManager
+	pool *buffer.Pool
+	meta TreeMeta
+}
+
+// dmSource adapts DiskManager to buffer.PageSource.
+type dmSource struct{ dm DiskManager }
+
+func (s dmSource) PageSize() int                       { return s.dm.PageSize() }
+func (s dmSource) ReadPage(page int, dst []byte) error { return s.dm.ReadPage(page, dst) }
+
+// OpenPagedTree opens a persisted tree for buffered querying with the
+// given buffer capacity in pages.
+func OpenPagedTree(dm DiskManager, bufferPages int) (*PagedTree, error) {
+	metaBuf, err := dm.ReadMeta()
+	if err != nil {
+		return nil, err
+	}
+	meta, err := decodeMeta(metaBuf)
+	if err != nil {
+		return nil, err
+	}
+	if meta.NumPages() == 0 {
+		return nil, fmt.Errorf("storage: persisted tree has no pages")
+	}
+	return &PagedTree{
+		dm:   dm,
+		pool: buffer.NewPool(dmSource{dm}, bufferPages, meta.NumPages()),
+		meta: meta,
+	}, nil
+}
+
+// Meta returns the tree catalog.
+func (pt *PagedTree) Meta() TreeMeta { return pt.meta }
+
+// Pool exposes the underlying buffer pool (for statistics and pinning).
+func (pt *PagedTree) Pool() *buffer.Pool { return pt.pool }
+
+// PinLevels pins the top n levels of the tree in the buffer, the policy
+// studied in Section 5.5. Level pages are contiguous, so this pins pages
+// [0, pages(level<n)).
+func (pt *PagedTree) PinLevels(n int) error {
+	if n < 0 || n > len(pt.meta.Levels) {
+		return fmt.Errorf("storage: pin %d levels of a %d-level tree", n, len(pt.meta.Levels))
+	}
+	for level := 0; level < n; level++ {
+		lo, hi := pt.meta.LevelPageRange(level)
+		for page := lo; page < hi; page++ {
+			if err := pt.pool.Pin(page); err != nil {
+				return fmt.Errorf("storage: pinning level %d: %w", level, err)
+			}
+		}
+	}
+	return nil
+}
+
+// SearchWindow reports every stored item intersecting q, reading node
+// pages through the buffer pool in DFS order (the order a real R-tree
+// search issues page requests).
+func (pt *PagedTree) SearchWindow(q geom.Rect) ([]rtree.Item, error) {
+	var out []rtree.Item
+	err := pt.search(0, q, &out)
+	return out, err
+}
+
+// SearchPoint is SearchWindow for a degenerate point query.
+func (pt *PagedTree) SearchPoint(p geom.Point) ([]rtree.Item, error) {
+	return pt.SearchWindow(geom.PointRect(p))
+}
+
+// Nearest returns the k stored items closest to p (Euclidean distance to
+// the rectangle), reading node pages through the buffer pool in best-first
+// order — the Hjaltason–Samet algorithm over paged storage. Each pool
+// miss is one counted disk access, so kNN workloads can be priced the
+// same way window queries are.
+func (pt *PagedTree) Nearest(p geom.Point, k int) ([]rtree.Neighbor, error) {
+	if k <= 0 {
+		return nil, nil
+	}
+	type queued struct {
+		distSq float64
+		page   int // valid when item is false
+		isItem bool
+		item   rtree.Item
+	}
+	// A slice-backed binary heap keyed on distSq.
+	var h []queued
+	push := func(e queued) {
+		h = append(h, e)
+		for i := len(h) - 1; i > 0; {
+			parent := (i - 1) / 2
+			if h[parent].distSq <= h[i].distSq {
+				break
+			}
+			h[parent], h[i] = h[i], h[parent]
+			i = parent
+		}
+	}
+	pop := func() queued {
+		top := h[0]
+		last := len(h) - 1
+		h[0] = h[last]
+		h = h[:last]
+		for i := 0; ; {
+			l, r := 2*i+1, 2*i+2
+			smallest := i
+			if l < len(h) && h[l].distSq < h[smallest].distSq {
+				smallest = l
+			}
+			if r < len(h) && h[r].distSq < h[smallest].distSq {
+				smallest = r
+			}
+			if smallest == i {
+				break
+			}
+			h[i], h[smallest] = h[smallest], h[i]
+			i = smallest
+		}
+		return top
+	}
+
+	push(queued{page: 0})
+	var out []rtree.Neighbor
+	for len(h) > 0 && len(out) < k {
+		e := pop()
+		if e.isItem {
+			out = append(out, rtree.Neighbor{Item: e.item, Dist: math.Sqrt(e.distSq)})
+			continue
+		}
+		frame, err := pt.pool.Get(e.page)
+		if err != nil {
+			return nil, err
+		}
+		nd, err := DecodeNode(frame, e.page)
+		if err != nil {
+			return nil, err
+		}
+		for i, r := range nd.Rects {
+			d := minDistSq(p, r)
+			if nd.Leaf {
+				push(queued{distSq: d, isItem: true, item: rtree.Item{Rect: r, ID: nd.IDs[i]}})
+			} else {
+				push(queued{distSq: d, page: nd.Children[i]})
+			}
+		}
+	}
+	return out, nil
+}
+
+// minDistSq returns the squared minimum Euclidean distance from p to r
+// (zero when p is inside r).
+func minDistSq(p geom.Point, r geom.Rect) float64 {
+	dx := math.Max(math.Max(r.MinX-p.X, 0), p.X-r.MaxX)
+	dy := math.Max(math.Max(r.MinY-p.Y, 0), p.Y-r.MaxY)
+	return dx*dx + dy*dy
+}
+
+// ScanLeaves visits every stored item by reading the leaf pages
+// sequentially through the buffer pool — the sequential-scan access path
+// a query optimizer weighs against the index (examples/optimizer). The
+// leaf level is the last contiguous page range, so this is one linear
+// pass of meta.Levels[last] page reads.
+func (pt *PagedTree) ScanLeaves(visit func(rtree.Item) error) error {
+	lo, hi := pt.meta.LevelPageRange(len(pt.meta.Levels) - 1)
+	for page := lo; page < hi; page++ {
+		frame, err := pt.pool.Get(page)
+		if err != nil {
+			return err
+		}
+		nd, err := DecodeNode(frame, page)
+		if err != nil {
+			return err
+		}
+		if !nd.Leaf {
+			return fmt.Errorf("storage: page %d in leaf range is not a leaf", page)
+		}
+		for i, r := range nd.Rects {
+			if err := visit(rtree.Item{Rect: r, ID: nd.IDs[i]}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (pt *PagedTree) search(page int, q geom.Rect, out *[]rtree.Item) error {
+	frame, err := pt.pool.Get(page)
+	if err != nil {
+		return err
+	}
+	nd, err := DecodeNode(frame, page)
+	if err != nil {
+		return err
+	}
+	for i, r := range nd.Rects {
+		if !r.Intersects(q) {
+			continue
+		}
+		if nd.Leaf {
+			*out = append(*out, rtree.Item{Rect: r, ID: nd.IDs[i]})
+		} else if err := pt.search(nd.Children[i], q, out); err != nil {
+			return err
+		}
+	}
+	return nil
+}
