@@ -1,0 +1,85 @@
+// Command rtreelint runs the repository's project-specific static
+// analyzers (internal/analysis) over the module and exits nonzero on any
+// finding. It is stdlib-only and needs no tools beyond the Go toolchain:
+//
+//	go run ./cmd/rtreelint ./...
+//
+// Findings print as "file:line:col: analyzer: message". Intentional
+// exceptions are annotated in the source with //lint:allow <analyzer>.
+//
+// Flags:
+//
+//	-root dir   module root to analyze (default: nearest go.mod upward)
+//	-list       list the analyzers and their target packages, then exit
+//
+// The package patterns on the command line are accepted for familiarity
+// ("./...") but the whole module is always loaded; analyzers restrict
+// themselves to their declared target packages.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"rtreebuf/internal/analysis"
+)
+
+func main() {
+	root := flag.String("root", "", "module root to analyze (default: nearest go.mod upward from the working directory)")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Parse()
+
+	analyzers := analysis.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+			for _, t := range a.Targets {
+				fmt.Printf("           target %s\n", t)
+			}
+		}
+		return
+	}
+
+	dir := *root
+	if dir == "" {
+		wd, err := os.Getwd()
+		if err != nil {
+			fatal(err)
+		}
+		dir, err = analysis.FindModuleRoot(wd)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	pkgs, err := analysis.LoadModule(dir)
+	if err != nil {
+		fatal(err)
+	}
+	findings := analysis.Run(pkgs, analyzers)
+	for _, f := range findings {
+		fmt.Println(relativize(f))
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "rtreelint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+// relativize shortens the finding's file path relative to the working
+// directory when possible, keeping output stable for editors and CI logs.
+func relativize(f analysis.Finding) string {
+	if wd, err := os.Getwd(); err == nil {
+		if rel, err := filepath.Rel(wd, f.Pos.Filename); err == nil && !filepath.IsAbs(rel) {
+			f.Pos.Filename = rel
+		}
+	}
+	return f.String()
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "rtreelint: %v\n", err)
+	os.Exit(2)
+}

@@ -1,0 +1,162 @@
+// Package analysis implements rtreelint, the project-specific static
+// analysis layer of the repository. It loads the module with go/parser and
+// go/types (standard library only — no external analysis framework) and
+// runs analyzers that encode correctness rules this codebase depends on
+// but that go vet cannot know about:
+//
+//   - floatcmp: exact ==/!= on floating-point operands in the geometry,
+//     cost-model, and Hilbert packages, where a silent rounding mismatch
+//     corrupts every downstream experiment figure;
+//   - errcheck: silently discarded error returns in the storage, data
+//     generation, and command packages;
+//   - mutexcopy: by-value copies of types holding sync primitives
+//     (the buffer pool is the only concurrent subsystem);
+//   - probrange: probability-valued functions returning unclamped
+//     arithmetic that can leave [0,1].
+//
+// Findings are suppressed by an explicit annotation on the offending line
+// (or the line directly above):
+//
+//	//lint:allow floatcmp exact comparison is the contract here
+//
+// The annotation names one analyzer (or a comma-separated list, or "all");
+// everything after the names is free-form justification. Keeping the
+// allowlist in the source, next to the code it excuses, is the point:
+// every intentional exception is visible in review and disappears when the
+// code it excuses does.
+//
+// To add a new analyzer: write a `func checkFoo(pkg *Package) []Finding`
+// over pkg.Files/pkg.Info, wrap it in an Analyzer literal with the target
+// packages it applies to, and append it to the slice in Analyzers. Tests
+// in this package typecheck small fixture sources with seeded violations
+// and assert on the findings; add at least two positive and one negative
+// fixture for the new analyzer.
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Finding is one analyzer diagnostic.
+type Finding struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String formats the finding as "file:line:col: analyzer: message".
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+}
+
+// Analyzer is one named check over a typechecked package.
+type Analyzer struct {
+	// Name is the short identifier used in findings and annotations.
+	Name string
+	// Doc is a one-line description shown by rtreelint's analyzer listing.
+	Doc string
+	// Targets restricts the analyzer to matching import paths. An entry
+	// matches exactly, or matches a whole subtree when it ends in "/...".
+	// An empty list applies the analyzer everywhere.
+	Targets []string
+	// Check reports findings for one package. Suppression annotations are
+	// applied by the runner, not by Check.
+	Check func(pkg *Package) []Finding
+}
+
+// AppliesTo reports whether the analyzer targets the given import path.
+func (a *Analyzer) AppliesTo(importPath string) bool {
+	if len(a.Targets) == 0 {
+		return true
+	}
+	for _, t := range a.Targets {
+		if sub, ok := strings.CutSuffix(t, "/..."); ok {
+			if importPath == sub || strings.HasPrefix(importPath, sub+"/") {
+				return true
+			}
+		} else if importPath == t {
+			return true
+		}
+	}
+	return false
+}
+
+// Analyzers returns every analyzer in the order rtreelint runs them.
+// Target paths are spelled relative to the module path of this repository.
+func Analyzers() []*Analyzer {
+	const mod = "rtreebuf"
+	return []*Analyzer{
+		{
+			Name: "floatcmp",
+			Doc:  "exact ==/!= on floating-point operands (use geom.ApproxEqual or annotate)",
+			Targets: []string{
+				mod + "/internal/geom",
+				mod + "/internal/core",
+				mod + "/internal/hilbert",
+			},
+			Check: checkFloatCmp,
+		},
+		{
+			Name: "errcheck",
+			Doc:  "silently discarded error results (assign to _ or handle)",
+			Targets: []string{
+				mod + "/internal/storage",
+				mod + "/internal/datagen",
+				mod + "/cmd/...",
+			},
+			Check: checkErrCheck,
+		},
+		{
+			Name: "mutexcopy",
+			Doc:  "by-value copy of a type containing sync primitives",
+			Targets: []string{
+				mod + "/internal/buffer",
+			},
+			Check: checkMutexCopy,
+		},
+		{
+			Name: "probrange",
+			Doc:  "probability-valued function returns unclamped arithmetic",
+			Targets: []string{
+				mod + "/internal/core",
+			},
+			Check: checkProbRange,
+		},
+	}
+}
+
+// Run applies every analyzer to every package it targets, drops findings
+// suppressed by lint:allow annotations, and returns the rest ordered by
+// file, line, and column.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
+	var out []Finding
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			if !a.AppliesTo(pkg.ImportPath) {
+				continue
+			}
+			for _, f := range a.Check(pkg) {
+				if !pkg.allowed(f.Analyzer, f.Pos) {
+					out = append(out, f)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
+}

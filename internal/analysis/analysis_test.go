@@ -1,0 +1,71 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// fixturePkg typechecks one fixture source file as its own package, using
+// the same loader machinery as LoadModule (stdlib imports are resolved
+// from source). Lines containing the marker comment "// WANT" declare
+// where findings are expected.
+func fixturePkg(t *testing.T, src string) *Package {
+	t.Helper()
+	fixtureMu.Lock()
+	defer fixtureMu.Unlock()
+	if fixtureImp == nil {
+		fixtureFset = token.NewFileSet()
+		fixtureImp = newModuleImporter(fixtureFset)
+	}
+	file, err := parser.ParseFile(fixtureFset, t.Name()+".go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parsing fixture: %v", err)
+	}
+	pkg, err := typecheck(fixtureFset, &rawPkg{importPath: "fixture/" + t.Name(), files: []*ast.File{file}}, fixtureImp)
+	if err != nil {
+		t.Fatalf("typechecking fixture: %v", err)
+	}
+	return pkg
+}
+
+var (
+	fixtureMu   sync.Mutex
+	fixtureFset *token.FileSet
+	fixtureImp  *moduleImporter
+)
+
+// wantLines returns the 1-based line numbers carrying a "// WANT" marker.
+func wantLines(src string) map[int]bool {
+	out := make(map[int]bool)
+	for i, line := range strings.Split(src, "\n") {
+		if strings.Contains(line, "// WANT") {
+			out[i+1] = true
+		}
+	}
+	return out
+}
+
+// runFixture runs one analyzer (without target filtering, with suppression)
+// over a fixture and compares finding lines against the WANT markers.
+func runFixture(t *testing.T, check func(*Package) []Finding, name, src string) {
+	t.Helper()
+	pkg := fixturePkg(t, src)
+	findings := Run([]*Package{pkg}, []*Analyzer{{Name: name, Check: check}})
+	want := wantLines(src)
+	got := make(map[int]bool)
+	for _, f := range findings {
+		got[f.Pos.Line] = true
+		if !want[f.Pos.Line] {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	for line := range want {
+		if !got[line] {
+			t.Errorf("missing finding at line %d", line)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// checkFloatCmp flags == and != whose operands are floating point, or
+// composite values (structs, arrays) that contain floating-point fields —
+// comparing geom.Rect values with == compares four float64s at once.
+//
+// Exact float comparison is occasionally the right thing (division-by-zero
+// guards, values clamped to an exact constant on a prior line, identity
+// checks like Rect.Equal); those sites carry a lint:allow annotation so
+// the allowlist lives next to the code it excuses. Everything else should
+// route through geom.ApproxEqual (scalars) or Rect.AlmostEqual.
+func checkFloatCmp(pkg *Package) []Finding {
+	var out []Finding
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			tx := operandType(pkg, be.X)
+			ty := operandType(pkg, be.Y)
+			if tx == nil && ty == nil {
+				return true
+			}
+			if containsFloat(tx, nil) || containsFloat(ty, nil) {
+				t := tx
+				if t == nil {
+					t = ty
+				}
+				out = append(out, Finding{
+					Pos:      pkg.Fset.Position(be.OpPos),
+					Analyzer: "floatcmp",
+					Message: "exact " + be.Op.String() + " on " + t.String() +
+						" operands; use geom.ApproxEqual (or Rect.AlmostEqual), or annotate with //lint:allow floatcmp",
+				})
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// operandType returns the (default) type of expr, or nil when the
+// typechecker has none (e.g. the untyped nil).
+func operandType(pkg *Package, expr ast.Expr) types.Type {
+	tv, ok := pkg.Info.Types[expr]
+	if !ok || tv.Type == nil {
+		return nil
+	}
+	return types.Default(tv.Type)
+}
+
+// containsFloat reports whether comparing two values of type t compares
+// floating-point numbers: t is a float, a complex number, or a struct or
+// array with such an element. seen guards against recursive named types.
+func containsFloat(t types.Type, seen map[types.Type]bool) bool {
+	if t == nil {
+		return false
+	}
+	if seen[t] {
+		return false
+	}
+	if seen == nil {
+		seen = make(map[types.Type]bool)
+	}
+	seen[t] = true
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		return u.Info()&(types.IsFloat|types.IsComplex) != 0
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsFloat(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsFloat(u.Elem(), seen)
+	}
+	return false
+}

@@ -1,0 +1,56 @@
+package analysis
+
+import "testing"
+
+func TestFloatCmpFlagsScalarComparison(t *testing.T) {
+	runFixture(t, checkFloatCmp, "floatcmp", `
+package fixture
+
+func eq(a, b float64) bool  { return a == b } // WANT
+func neq(a, b float64) bool { return a != b } // WANT
+func eq32(a, b float32) bool { return a == b } // WANT
+func zeroGuard(a float64) bool { return a == 0 } // WANT
+`)
+}
+
+func TestFloatCmpFlagsCompositeComparison(t *testing.T) {
+	runFixture(t, checkFloatCmp, "floatcmp", `
+package fixture
+
+type rect struct{ minX, minY, maxX, maxY float64 }
+type pair struct{ r rect }
+
+func eqRect(a, b rect) bool { return a == b } // WANT
+func eqNested(a, b pair) bool { return a != b } // WANT
+func eqArray(a, b [4]float64) bool { return a == b } // WANT
+`)
+}
+
+func TestFloatCmpIgnoresExactTypesAndOrderings(t *testing.T) {
+	runFixture(t, checkFloatCmp, "floatcmp", `
+package fixture
+
+type id struct{ hi, lo uint64 }
+
+func eqInt(a, b int) bool       { return a == b }
+func eqStr(a, b string) bool    { return a == b }
+func eqStruct(a, b id) bool     { return a == b }
+func less(a, b float64) bool    { return a < b }
+func geq(a, b float64) bool     { return a >= b }
+func arith(a, b float64) float64 { return a + b }
+`)
+}
+
+func TestFloatCmpHonorsAllowAnnotation(t *testing.T) {
+	runFixture(t, checkFloatCmp, "floatcmp", `
+package fixture
+
+func sameLine(a, b float64) bool { return a == b } //lint:allow floatcmp identity is intended
+func lineAbove(a, b float64) bool {
+	//lint:allow floatcmp clamped to an exact constant upstream
+	return a == b
+}
+func multi(a, b float64) bool { return a == b } //lint:allow errcheck,floatcmp both excused
+func wrongName(a, b float64) bool { return a == b } //lint:allow probrange wrong analyzer  // WANT
+`)
+}

@@ -1,0 +1,337 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Package is one typechecked package of the module under analysis,
+// bundling everything an Analyzer needs: syntax, types, and the
+// suppression annotations collected from its comments.
+type Package struct {
+	// ImportPath is the package's import path (module path + directory).
+	ImportPath string
+	// Dir is the absolute directory holding the package sources.
+	Dir string
+	// Fset is the file set shared by every package of one load.
+	Fset *token.FileSet
+	// Files holds the parsed non-test sources, ordered by file name.
+	Files []*ast.File
+	// Types is the typechecked package.
+	Types *types.Package
+	// Info carries the typechecker's expression/type maps for Files.
+	Info *types.Info
+
+	// allow maps file name -> line -> analyzer names suppressed on that
+	// line by a "//lint:allow name[,name...] [reason]" annotation.
+	allow map[string]map[int][]string
+}
+
+// allowed reports whether a finding of the named analyzer at pos is
+// suppressed by an annotation trailing that line or standing alone on the
+// line directly above (collectAllows resolves both forms to the code line).
+func (p *Package) allowed(name string, pos token.Position) bool {
+	for _, n := range p.allow[pos.Filename][pos.Line] {
+		if n == name || n == "all" {
+			return true
+		}
+	}
+	return false
+}
+
+var allowRe = regexp.MustCompile(`^//\s*lint:allow\s+([a-zA-Z0-9_,-]+)`)
+
+// collectAllows scans a file's comments for lint:allow annotations. An
+// annotation trailing code applies to that line; an annotation on a line
+// of its own applies to the line below it — and never both, so a trailing
+// annotation cannot accidentally excuse the next statement.
+func collectAllows(fset *token.FileSet, file *ast.File, into map[string]map[int][]string) {
+	code := codeLines(fset, file)
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			m := allowRe.FindStringSubmatch(c.Text)
+			if m == nil {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			line := pos.Line
+			if !code[line] {
+				line++ // standalone annotation: excuses the line below
+			}
+			byLine := into[pos.Filename]
+			if byLine == nil {
+				byLine = make(map[int][]string)
+				into[pos.Filename] = byLine
+			}
+			for _, name := range strings.Split(m[1], ",") {
+				if name = strings.TrimSpace(name); name != "" {
+					byLine[line] = append(byLine[line], name)
+				}
+			}
+		}
+	}
+}
+
+// codeLines reports which lines of the file carry non-comment tokens.
+func codeLines(fset *token.FileSet, file *ast.File) map[int]bool {
+	out := make(map[int]bool)
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n.(type) {
+		case nil:
+			return false
+		case *ast.Comment, *ast.CommentGroup:
+			return false
+		}
+		out[fset.Position(n.Pos()).Line] = true
+		if end := n.End(); end.IsValid() && end > n.Pos() {
+			out[fset.Position(end-1).Line] = true
+		}
+		return true
+	})
+	return out
+}
+
+// FindModuleRoot walks upward from dir to the nearest directory holding a
+// go.mod file.
+func FindModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("analysis: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+var moduleRe = regexp.MustCompile(`(?m)^module\s+(\S+)`)
+
+// modulePath extracts the module path from root/go.mod.
+func modulePath(root string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", err
+	}
+	m := moduleRe.FindSubmatch(data)
+	if m == nil {
+		return "", fmt.Errorf("analysis: no module directive in %s/go.mod", root)
+	}
+	if p, err := strconv.Unquote(string(m[1])); err == nil {
+		return p, nil
+	}
+	return string(m[1]), nil
+}
+
+// rawPkg is a parsed-but-not-yet-typechecked package.
+type rawPkg struct {
+	importPath string
+	dir        string
+	files      []*ast.File
+	imports    []string // module-internal imports only
+}
+
+// LoadModule parses and typechecks every non-test package of the Go module
+// rooted at root, using only the standard library (stdlib dependencies are
+// typechecked from source; no export data or external tooling is needed).
+// Packages are returned sorted by import path.
+func LoadModule(root string) ([]*Package, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := modulePath(root)
+	if err != nil {
+		return nil, err
+	}
+
+	fset := token.NewFileSet()
+	raw := make(map[string]*rawPkg)
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		file, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return fmt.Errorf("analysis: %w", err)
+		}
+		dir := filepath.Dir(path)
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			return err
+		}
+		importPath := modPath
+		if rel != "." {
+			importPath = modPath + "/" + filepath.ToSlash(rel)
+		}
+		rp := raw[importPath]
+		if rp == nil {
+			rp = &rawPkg{importPath: importPath, dir: dir}
+			raw[importPath] = rp
+		}
+		rp.files = append(rp.files, file)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(raw) == 0 {
+		return nil, fmt.Errorf("analysis: no Go packages under %s", root)
+	}
+
+	for _, rp := range raw {
+		for _, f := range rp.files {
+			for _, imp := range f.Imports {
+				path, err := strconv.Unquote(imp.Path.Value)
+				if err != nil {
+					continue
+				}
+				if path == modPath || strings.HasPrefix(path, modPath+"/") {
+					rp.imports = append(rp.imports, path)
+				}
+			}
+		}
+	}
+
+	order, err := topoSort(raw)
+	if err != nil {
+		return nil, err
+	}
+
+	imp := newModuleImporter(fset)
+	var out []*Package
+	for _, rp := range order {
+		pkg, err := typecheck(fset, rp, imp)
+		if err != nil {
+			return nil, err
+		}
+		imp.module[rp.importPath] = pkg.Types
+		out = append(out, pkg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ImportPath < out[j].ImportPath })
+	return out, nil
+}
+
+// topoSort orders packages so that every package follows its
+// module-internal dependencies.
+func topoSort(raw map[string]*rawPkg) ([]*rawPkg, error) {
+	const (
+		white = 0 // unvisited
+		gray  = 1 // on the current DFS path
+		black = 2 // done
+	)
+	state := make(map[string]int, len(raw))
+	var order []*rawPkg
+	var visit func(path string) error
+	visit = func(path string) error {
+		rp, ok := raw[path]
+		if !ok {
+			return nil // import of a module path not present on disk: let the typechecker report it
+		}
+		switch state[path] {
+		case gray:
+			return fmt.Errorf("analysis: import cycle through %s", path)
+		case black:
+			return nil
+		}
+		state[path] = gray
+		for _, dep := range rp.imports {
+			if err := visit(dep); err != nil {
+				return err
+			}
+		}
+		state[path] = black
+		order = append(order, rp)
+		return nil
+	}
+	paths := make([]string, 0, len(raw))
+	for p := range raw {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths) // deterministic order
+	for _, p := range paths {
+		if err := visit(p); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+// moduleImporter resolves module-internal imports from the packages
+// typechecked so far and everything else through the stdlib source
+// importer.
+type moduleImporter struct {
+	module map[string]*types.Package
+	std    types.Importer
+}
+
+func newModuleImporter(fset *token.FileSet) *moduleImporter {
+	return &moduleImporter{
+		module: make(map[string]*types.Package),
+		std:    importer.ForCompiler(fset, "source", nil),
+	}
+}
+
+// Import implements types.Importer.
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := m.module[path]; ok {
+		return pkg, nil
+	}
+	return m.std.Import(path)
+}
+
+// typecheck runs the typechecker over one parsed package.
+func typecheck(fset *token.FileSet, rp *rawPkg, imp types.Importer) (*Package, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(rp.importPath, fset, rp.files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: typechecking %s: %w", rp.importPath, err)
+	}
+	sort.Slice(rp.files, func(i, j int) bool {
+		return fset.Position(rp.files[i].Pos()).Filename < fset.Position(rp.files[j].Pos()).Filename
+	})
+	pkg := &Package{
+		ImportPath: rp.importPath,
+		Dir:        rp.dir,
+		Fset:       fset,
+		Files:      rp.files,
+		Types:      tpkg,
+		Info:       info,
+		allow:      make(map[string]map[int][]string),
+	}
+	for _, f := range rp.files {
+		collectAllows(fset, f, pkg.allow)
+	}
+	return pkg, nil
+}

@@ -1,0 +1,74 @@
+package analysis
+
+import "testing"
+
+func TestMutexCopyFlagsValueReceiversAndParams(t *testing.T) {
+	runFixture(t, checkMutexCopy, "mutexcopy", `
+package fixture
+
+import "sync"
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+type nested struct{ g guarded }
+
+func (g guarded) get() int    { return g.n } // WANT
+func byValue(g guarded)       {}             // WANT
+func deepValue(n nested)      {}             // WANT
+func leak() (g guarded)       { return }     // WANT
+func pointerRecvOK(g *guarded) {}
+`)
+}
+
+func TestMutexCopyFlagsCopiesAndRangeValues(t *testing.T) {
+	runFixture(t, checkMutexCopy, "mutexcopy", `
+package fixture
+
+import "sync"
+
+type guarded struct {
+	wg sync.WaitGroup
+}
+
+func copies(a *guarded, list []guarded) {
+	b := *a // WANT
+	c := list[0] // WANT
+	use(&b)
+	use(&c)
+	for _, g := range list { // WANT
+		use(&g)
+	}
+}
+
+func use(*guarded) {}
+`)
+}
+
+func TestMutexCopyAllowsPointersAndConstruction(t *testing.T) {
+	runFixture(t, checkMutexCopy, "mutexcopy", `
+package fixture
+
+import "sync"
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+type plain struct{ n int }
+
+func (g *guarded) bump()      { g.mu.Lock(); g.n++; g.mu.Unlock() }
+func construct() *guarded     { return &guarded{} }
+func fresh() {
+	g := guarded{n: 1}
+	g.bump()
+	p := &g
+	q := p
+	_ = q
+}
+func values(p plain) plain { return p }
+`)
+}

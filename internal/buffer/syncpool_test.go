@@ -111,3 +111,142 @@ func TestSyncPoolConcurrent(t *testing.T) {
 		t.Errorf("accounted %d of %d accesses", hits+misses, 8*2000)
 	}
 }
+
+// Mixed-operation stress: readers, zero-copy viewers, pin/unpin cyclers,
+// and stats pollers all share one pool. The assertions are content
+// integrity and sane accounting; the real check is the race detector,
+// which CI runs over this package (-race turns any unsynchronized access
+// into a failure).
+func TestSyncPoolStressMixedOps(t *testing.T) {
+	const (
+		numPages = 40
+		capacity = 16
+		iters    = 1500
+	)
+	src := &fakeSource{pageSize: 64, numPages: numPages}
+	p := NewSyncPool(src, capacity, numPages)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	fail := func(err error) {
+		select {
+		case errs <- err:
+		default:
+		}
+	}
+
+	// Readers: full-copy Get over the whole page range.
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				page := (g*13 + i*7) % numPages
+				frame, err := p.Get(page)
+				if err != nil {
+					fail(err)
+					return
+				}
+				if frame[0] != byte(page) || frame[len(frame)-1] != byte(page) {
+					fail(errors.New("Get returned corrupt frame"))
+					return
+				}
+			}
+		}(g)
+	}
+
+	// Viewers: zero-copy reads under the pool lock.
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				page := (g*19 + i*11) % numPages
+				err := p.View(page, func(frame []byte) error {
+					if frame[0] != byte(page) {
+						return errors.New("View saw corrupt frame")
+					}
+					return nil
+				})
+				if err != nil {
+					fail(err)
+					return
+				}
+			}
+		}(g)
+	}
+
+	// Pinners: cycle pins over disjoint page pairs, reading the pinned
+	// page while it is guaranteed resident. Disjoint pairs keep the
+	// total concurrent pin count far below capacity.
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			pages := [2]int{2 * g, 2*g + 1}
+			for i := 0; i < iters; i++ {
+				page := pages[i%2]
+				if err := p.Pin(page); err != nil {
+					fail(err)
+					return
+				}
+				frame, err := p.Get(page)
+				if err != nil {
+					fail(err)
+					return
+				}
+				if frame[0] != byte(page) {
+					fail(errors.New("pinned page corrupt"))
+					return
+				}
+				p.Unpin(page)
+			}
+		}(g)
+	}
+
+	// Stats pollers: exercise every read-only accessor concurrently.
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				hits, misses, evictions := p.Stats()
+				if misses > hits+misses || evictions > misses {
+					fail(errors.New("impossible stats snapshot"))
+					return
+				}
+				if r := p.HitRatio(); r < 0 || r > 1 {
+					fail(errors.New("hit ratio outside [0,1]"))
+					return
+				}
+				if res := p.Resident(); res < 0 || res > numPages {
+					fail(errors.New("resident count out of range"))
+					return
+				}
+			}
+		}()
+	}
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// Quiescent state: accounting covers every faulting access and the
+	// pool still serves correct content.
+	hits, misses, evictions := p.Stats()
+	if total := hits + misses; total < 4*iters {
+		t.Errorf("accounted %d accesses, expected at least %d", total, 4*iters)
+	}
+	if evictions > misses {
+		t.Errorf("evictions %d exceed misses %d", evictions, misses)
+	}
+	frame, err := p.Get(numPages - 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frame[0] != byte(numPages-1) {
+		t.Error("pool corrupt after stress")
+	}
+}

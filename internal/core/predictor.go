@@ -127,7 +127,9 @@ func (p *Predictor) PinningImprovement(bufferSize, pinLevels int) (float64, erro
 	if err != nil {
 		return 0, err
 	}
-	if base == 0 {
+	// Near-zero EDT means the buffer already absorbs everything; dividing
+	// by it would amplify rounding noise into a nonsense percentage.
+	if geom.ApproxEqual(base, 0, 1e-12) {
 		return 0, nil
 	}
 	return (base - pinned) / base, nil
@@ -161,7 +163,9 @@ func (p *Predictor) BufferForTarget(target float64, maxBuffer int) (int, bool) {
 // 1 - EDT/EPT for the given buffer size (0 when EPT is 0).
 func (p *Predictor) HitRatio(bufferSize int) float64 {
 	ept := p.NodesVisited()
-	if ept == 0 {
+	// A sum of access probabilities this small means no node is reachable;
+	// the ratio would be rounding noise over rounding noise.
+	if geom.ApproxEqual(ept, 0, 1e-12) {
 		return 0
 	}
 	r := 1 - p.DiskAccesses(bufferSize)/ept

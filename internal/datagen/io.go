@@ -140,7 +140,7 @@ func WriteRectsFile(path string, rects []geom.Rect) error {
 		return err
 	}
 	if err := WriteRects(f, rects); err != nil {
-		f.Close()
+		_ = f.Close() // the original error is the one worth reporting
 		return err
 	}
 	return f.Close()
@@ -153,7 +153,7 @@ func WritePointsFile(path string, points []geom.Point) error {
 		return err
 	}
 	if err := WritePoints(f, points); err != nil {
-		f.Close()
+		_ = f.Close() // the original error is the one worth reporting
 		return err
 	}
 	return f.Close()

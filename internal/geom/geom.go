@@ -187,15 +187,27 @@ func clamp(v, lo, hi float64) float64 {
 	return v
 }
 
-// Equal reports exact equality of all four coordinates.
-func (r Rect) Equal(s Rect) bool { return r == s }
+// ApproxEqual reports whether a and b differ by at most eps. It is the
+// float comparison the floatcmp analyzer steers code toward: R-tree MBRs
+// are unions and products of many float64 values, so exact == on derived
+// quantities encodes an accident of rounding, not a geometric fact.
+func ApproxEqual(a, b, eps float64) bool {
+	return math.Abs(a-b) <= eps
+}
+
+// Equal reports exact equality of all four coordinates. This is the
+// identity check used by the structural invariants (an internal entry's
+// rectangle must be bit-for-bit the MBR of its child, because both are
+// computed by the same Union fold); for tolerant comparison use
+// AlmostEqual.
+func (r Rect) Equal(s Rect) bool { return r == s } //lint:allow floatcmp identity is the contract here
 
 // AlmostEqual reports equality of all four coordinates within eps.
 func (r Rect) AlmostEqual(s Rect, eps float64) bool {
-	return math.Abs(r.MinX-s.MinX) <= eps &&
-		math.Abs(r.MinY-s.MinY) <= eps &&
-		math.Abs(r.MaxX-s.MaxX) <= eps &&
-		math.Abs(r.MaxY-s.MaxY) <= eps
+	return ApproxEqual(r.MinX, s.MinX, eps) &&
+		ApproxEqual(r.MinY, s.MinY, eps) &&
+		ApproxEqual(r.MaxX, s.MaxX, eps) &&
+		ApproxEqual(r.MaxY, s.MaxY, eps)
 }
 
 // String implements fmt.Stringer.

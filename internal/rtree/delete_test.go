@@ -62,6 +62,9 @@ func TestDeleteAll(t *testing.T) {
 	if err := tr.CheckInvariants(); err != nil {
 		t.Fatal(err)
 	}
+	if err := ValidateTree(tr); err != nil {
+		t.Fatal(err)
+	}
 }
 
 func TestDeleteCondensesRoot(t *testing.T) {
@@ -122,6 +125,9 @@ func TestRandomInsertDeleteMix(t *testing.T) {
 			}
 			if step%271 == 0 {
 				if err := tr.CheckInvariants(); err != nil {
+					t.Fatalf("cap %d step %d: %v", cap, step, err)
+				}
+				if err := ValidateTree(tr); err != nil {
 					t.Fatalf("cap %d step %d: %v", cap, step, err)
 				}
 				if tr.Len() != len(live) {

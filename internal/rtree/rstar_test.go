@@ -26,6 +26,9 @@ func TestRStarInsertMatchesBruteForce(t *testing.T) {
 		if err := tr.CheckMinFill(); err != nil {
 			t.Fatalf("cap %d: %v", cap, err)
 		}
+		if err := ValidateTreeStrict(tr); err != nil {
+			t.Fatalf("cap %d: %v", cap, err)
+		}
 		for i := 0; i < 80; i++ {
 			q := geom.RectAround(geom.Point{X: rng.Float64(), Y: rng.Float64()},
 				rng.Float64()*0.2, rng.Float64()*0.2)
@@ -53,6 +56,9 @@ func TestRStarDelete(t *testing.T) {
 				t.Fatalf("after %d deletes: %v", i+1, err)
 			}
 		}
+	}
+	if err := ValidateTree(tr); err != nil {
+		t.Fatal(err)
 	}
 	if !equalIDs(idsOf(tr.Items()), idsOf(items[500:])) {
 		t.Fatal("survivors mismatch")

@@ -143,6 +143,9 @@ func TestInsertMatchesBruteForce(t *testing.T) {
 			if err := tr.CheckMinFill(); err != nil {
 				t.Fatalf("cap %d split %v: %v", cap, split, err)
 			}
+			if err := ValidateTreeStrict(tr); err != nil {
+				t.Fatalf("cap %d split %v: %v", cap, split, err)
+			}
 			for i := 0; i < 100; i++ {
 				q := geom.RectAround(geom.Point{X: rng.Float64(), Y: rng.Float64()},
 					rng.Float64()*0.2, rng.Float64()*0.2)

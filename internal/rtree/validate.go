@@ -1,0 +1,155 @@
+package rtree
+
+import (
+	"fmt"
+)
+
+// ValidateTree is the runtime counterpart of the static checks in
+// internal/analysis: a single deep pass asserting every structural
+// invariant an R-tree must satisfy for the paper's buffer model to be
+// meaningful. It returns the first violation found, or nil.
+//
+// Checked invariants:
+//
+//  1. MBR containment and exactness: each internal entry's rectangle
+//     contains every rectangle of its child and equals the child's MBR
+//     bit for bit (the model's access probabilities are computed from
+//     these rectangles, so a stale MBR silently skews every A_ij).
+//  2. Fanout bounds: no node exceeds MaxEntries; every non-root node is
+//     non-empty; an internal root has at least two entries.
+//  3. Uniform leaf depth: every leaf sits at the same depth, and node
+//     heights decrease by exactly one per level.
+//  4. Consistency with the tree's own accounting: the leaf entries found
+//     by the walk match Len(), and the per-level node counts match what
+//     ComputeStats and NodesPerLevel report.
+//
+// The Guttman minimum-fill bound (m <= entries except at the root) is
+// validated by the companion ValidateTreeStrict: bulk-loaded trees
+// legitimately leave the trailing node of each level short, so the base
+// validator must pass on the output of every loader in internal/pack.
+func ValidateTree(t *Tree) error {
+	if t == nil || t.root == nil {
+		return fmt.Errorf("rtree: validate: nil tree or root")
+	}
+
+	items := 0
+	leaves := 0
+	perHeight := make(map[int]int)
+
+	var walk func(n *node, parent *node, isRoot bool) error
+	walk = func(n *node, parent *node, isRoot bool) error {
+		perHeight[n.height]++
+		if n.parent != parent {
+			return fmt.Errorf("rtree: validate: node at height %d has wrong parent pointer", n.height)
+		}
+		if len(n.entries) > t.params.MaxEntries {
+			return fmt.Errorf("rtree: validate: node at height %d has %d entries > max %d",
+				n.height, len(n.entries), t.params.MaxEntries)
+		}
+		if !isRoot && len(n.entries) == 0 {
+			return fmt.Errorf("rtree: validate: empty non-root node at height %d", n.height)
+		}
+		if isRoot && !n.isLeaf() && len(n.entries) < 2 {
+			return fmt.Errorf("rtree: validate: internal root has %d entries < 2", len(n.entries))
+		}
+		if n.isLeaf() {
+			leaves++
+			for i, e := range n.entries {
+				if e.child != nil {
+					return fmt.Errorf("rtree: validate: leaf entry %d has a child", i)
+				}
+				if !e.rect.Valid() {
+					return fmt.Errorf("rtree: validate: leaf entry %d has invalid rect %v", i, e.rect)
+				}
+				items++
+			}
+			return nil
+		}
+		for i, e := range n.entries {
+			c := e.child
+			if c == nil {
+				return fmt.Errorf("rtree: validate: internal entry %d at height %d has nil child",
+					i, n.height)
+			}
+			if c.height != n.height-1 {
+				return fmt.Errorf("rtree: validate: child %d at height %d under node at height %d",
+					i, c.height, n.height)
+			}
+			if len(c.entries) == 0 {
+				return fmt.Errorf("rtree: validate: child %d at height %d is empty", i, c.height)
+			}
+			mbr := c.mbr()
+			if !e.rect.Equal(mbr) {
+				return fmt.Errorf("rtree: validate: entry %d rect %v != child MBR %v", i, e.rect, mbr)
+			}
+			for j, ce := range c.entries {
+				if !e.rect.ContainsRect(ce.rect) {
+					return fmt.Errorf("rtree: validate: entry %d rect %v does not contain child entry %d rect %v",
+						i, e.rect, j, ce.rect)
+				}
+			}
+			if err := walk(c, n, false); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(t.root, nil, true); err != nil {
+		return err
+	}
+
+	// Uniform leaf depth: the walk already enforces height-parent
+	// consistency, so it suffices that every leaf-height node is a leaf
+	// and leaves occur only at height zero.
+	if perHeight[0] != leaves {
+		return fmt.Errorf("rtree: validate: %d nodes at height 0 but %d leaves", perHeight[0], leaves)
+	}
+
+	if items != t.size {
+		return fmt.Errorf("rtree: validate: tree reports %d items but leaves hold %d", t.size, items)
+	}
+
+	// The walk's per-level census must agree with the tree's own
+	// accounting (Stats and NodesPerLevel are what the experiments and
+	// the cost model consume). An empty tree has no MBRs to aggregate, so
+	// ComputeStats cannot run on it; the checks above already cover it.
+	if items == 0 {
+		return nil
+	}
+	stats := t.ComputeStats()
+	if stats.Items != items {
+		return fmt.Errorf("rtree: validate: Stats.Items %d != leaf entry count %d", stats.Items, items)
+	}
+	counts := t.NodesPerLevel()
+	if len(counts) != t.root.height+1 {
+		return fmt.Errorf("rtree: validate: NodesPerLevel has %d levels, tree has %d",
+			len(counts), t.root.height+1)
+	}
+	total := 0
+	for lvl, got := range counts {
+		want := perHeight[t.root.height-lvl]
+		if got != want {
+			return fmt.Errorf("rtree: validate: NodesPerLevel[%d] = %d but walk found %d", lvl, got, want)
+		}
+		if stats.NodesPerLevel[lvl] != got {
+			return fmt.Errorf("rtree: validate: Stats.NodesPerLevel[%d] = %d but walk found %d",
+				lvl, stats.NodesPerLevel[lvl], got)
+		}
+		total += got
+	}
+	if stats.Nodes != total {
+		return fmt.Errorf("rtree: validate: Stats.Nodes %d != walked total %d", stats.Nodes, total)
+	}
+	return nil
+}
+
+// ValidateTreeStrict is ValidateTree plus the Guttman minimum-fill bound:
+// every non-root node must hold at least MinEntries entries. Use it on
+// trees maintained by Insert/Delete (including R*); bulk-loaded trees may
+// legally fail it in their trailing nodes.
+func ValidateTreeStrict(t *Tree) error {
+	if err := ValidateTree(t); err != nil {
+		return err
+	}
+	return t.CheckMinFill()
+}

@@ -177,7 +177,7 @@ func CreateFile(path string, pageSize int) (*FileManager, error) {
 	}
 	fm := &FileManager{f: f, pageSize: pageSize}
 	if err := fm.writeHeader(); err != nil {
-		f.Close()
+		_ = f.Close() // the original error is the one worth reporting
 		return nil, err
 	}
 	return fm, nil
@@ -191,15 +191,15 @@ func OpenFile(path string) (*FileManager, error) {
 	}
 	hdr := make([]byte, headerFixed)
 	if _, err := io.ReadFull(io.NewSectionReader(f, 0, headerFixed), hdr); err != nil {
-		f.Close()
+		_ = f.Close() // the original error is the one worth reporting
 		return nil, fmt.Errorf("storage: reading header of %s: %w", path, err)
 	}
 	if string(hdr[0:8]) != fileMagic {
-		f.Close()
+		_ = f.Close() // the original error is the one worth reporting
 		return nil, fmt.Errorf("storage: %s is not an rtreebuf page file", path)
 	}
 	if v := binary.LittleEndian.Uint32(hdr[8:12]); v != formatVersion {
-		f.Close()
+		_ = f.Close() // the original error is the one worth reporting
 		return nil, fmt.Errorf("storage: %s has format version %d, want %d", path, v, formatVersion)
 	}
 	fm := &FileManager{
@@ -210,12 +210,12 @@ func OpenFile(path string) (*FileManager, error) {
 	metaLen := int(binary.LittleEndian.Uint32(hdr[20:24]))
 	if metaLen > 0 {
 		if metaLen > fm.pageSize-headerFixed {
-			f.Close()
+			_ = f.Close() // the original error is the one worth reporting
 			return nil, fmt.Errorf("storage: %s metadata length %d corrupt", path, metaLen)
 		}
 		fm.meta = make([]byte, metaLen)
 		if _, err := f.ReadAt(fm.meta, headerFixed); err != nil {
-			f.Close()
+			_ = f.Close() // the original error is the one worth reporting
 			return nil, fmt.Errorf("storage: reading metadata of %s: %w", path, err)
 		}
 	}
@@ -309,7 +309,7 @@ func (fm *FileManager) ResetStats() { fm.stats = IOStats{} }
 // Close implements DiskManager.
 func (fm *FileManager) Close() error {
 	if err := fm.f.Sync(); err != nil {
-		fm.f.Close()
+		_ = fm.f.Close() // the sync failure is the one worth reporting
 		return fmt.Errorf("storage: syncing: %w", err)
 	}
 	return fm.f.Close()
