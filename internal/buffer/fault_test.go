@@ -1,0 +1,119 @@
+package buffer
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// faultySource fails reads of chosen pages (optionally only the first
+// n attempts) and otherwise serves a recognizable pattern.
+type faultySource struct {
+	pageSize  int
+	failPages map[int]int // page -> remaining failures (-1 = forever)
+	reads     int
+}
+
+var errDisk = errors.New("simulated disk error")
+
+func (s *faultySource) PageSize() int { return s.pageSize }
+
+func (s *faultySource) ReadPage(page int, dst []byte) error {
+	s.reads++
+	if left, ok := s.failPages[page]; ok && left != 0 {
+		if left > 0 {
+			s.failPages[page] = left - 1
+		}
+		return fmt.Errorf("reading page %d: %w", page, errDisk)
+	}
+	for i := range dst[:s.pageSize] {
+		dst[i] = byte(page)
+	}
+	return nil
+}
+
+func TestPoolPropagatesSourceErrors(t *testing.T) {
+	src := &faultySource{pageSize: 64, failPages: map[int]int{3: 1}}
+	p := NewPool(src, 4, 10)
+
+	// The failed read surfaces with the source error intact in the chain
+	// (the storage layer classifies transient vs permanent through it).
+	_, err := p.Get(3)
+	if err == nil {
+		t.Fatal("failed read returned no error")
+	}
+	if !errors.Is(err, errDisk) {
+		t.Fatalf("source error lost from chain: %v", err)
+	}
+	if p.FailedReads() != 1 {
+		t.Errorf("FailedReads = %d, want 1", p.FailedReads())
+	}
+	// The failure left no garbage frame resident.
+	if p.Resident() != 0 {
+		t.Errorf("resident %d after failed read", p.Resident())
+	}
+	// A retry (the injected failure was one-shot) succeeds and delivers
+	// correct contents.
+	frame, err := p.Get(3)
+	if err != nil {
+		t.Fatalf("retry failed: %v", err)
+	}
+	if frame[0] != 3 {
+		t.Errorf("frame content %d", frame[0])
+	}
+	if p.Resident() != 1 {
+		t.Errorf("resident %d after recovery", p.Resident())
+	}
+	// Both attempts were physical reads, so both count as misses.
+	_, misses, _ := p.Stats()
+	if misses != 2 {
+		t.Errorf("misses = %d, want 2 (failed read still issued I/O)", misses)
+	}
+}
+
+func TestPoolPinPropagatesSourceErrors(t *testing.T) {
+	src := &faultySource{pageSize: 64, failPages: map[int]int{2: -1}}
+	p := NewPool(src, 4, 10)
+	if err := p.Pin(2); err == nil || !errors.Is(err, errDisk) {
+		t.Fatalf("pin of unreadable page = %v", err)
+	}
+	if p.FailedReads() != 1 {
+		t.Errorf("FailedReads = %d", p.FailedReads())
+	}
+	// The failed pin left the page neither pinned nor resident: it can
+	// still be pinned later if the medium heals.
+	if p.Resident() != 0 {
+		t.Errorf("resident %d after failed pin", p.Resident())
+	}
+	delete(src.failPages, 2)
+	if err := p.Pin(2); err != nil {
+		t.Fatalf("pin after heal failed: %v", err)
+	}
+}
+
+func TestPoolFailedReadsSurviveHeavyTraffic(t *testing.T) {
+	src := &faultySource{pageSize: 64, failPages: map[int]int{7: -1}}
+	p := NewPool(src, 3, 20)
+	var failures int
+	for i := 0; i < 200; i++ {
+		if _, err := p.Get(i % 20); err != nil {
+			if i%20 != 7 {
+				t.Fatalf("healthy page %d failed: %v", i%20, err)
+			}
+			failures++
+		}
+	}
+	if failures != 10 {
+		t.Errorf("failures = %d, want 10", failures)
+	}
+	if p.FailedReads() != 10 {
+		t.Errorf("FailedReads = %d, want 10", p.FailedReads())
+	}
+	if p.Resident() > 3 {
+		t.Errorf("resident %d exceeds capacity", p.Resident())
+	}
+	p.ResetStats()
+	if p.FailedReads() != 0 {
+		t.Errorf("ResetStats kept FailedReads = %d", p.FailedReads())
+	}
+}

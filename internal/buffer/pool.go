@@ -25,6 +25,11 @@ type Pool struct {
 	lru    *LRU
 	frames [][]byte
 	free   [][]byte // recycled frames from evictions
+	// readFailures counts source reads that returned an error. Failed
+	// reads still count as misses (a physical read was issued) but leave
+	// no frame resident, so callers watching for degraded storage can
+	// tell "cold buffer" apart from "sick disk".
+	readFailures uint64
 }
 
 // NewPool returns a pool of the given capacity (in pages) over pages
@@ -55,7 +60,10 @@ func (p *Pool) Get(page int) ([]byte, error) {
 	frame := p.takeFrame()
 	if err := p.src.ReadPage(page, frame); err != nil {
 		// Back out the fault so a failed read never leaves a garbage
-		// frame resident.
+		// frame resident. The source error stays in the chain so the
+		// storage layer's fault classification (transient vs permanent)
+		// survives the trip through the pool.
+		p.readFailures++
 		p.lru.Remove(page)
 		p.free = append(p.free, frame)
 		return nil, fmt.Errorf("buffer: reading page %d: %w", page, err)
@@ -85,6 +93,7 @@ func (p *Pool) Pin(page int) error {
 	if !resident {
 		frame := p.takeFrame()
 		if err := p.src.ReadPage(page, frame); err != nil {
+			p.readFailures++
 			p.lru.Unpin(page)
 			p.lru.Remove(page)
 			p.free = append(p.free, frame)
@@ -95,6 +104,10 @@ func (p *Pool) Pin(page int) error {
 	return nil
 }
 
+// FailedReads returns how many source reads errored. These reads count
+// as misses but deliver no page.
+func (p *Pool) FailedReads() uint64 { return p.readFailures }
+
 // Unpin returns a pinned page to LRU management.
 func (p *Pool) Unpin(page int) { p.lru.Unpin(page) }
 
@@ -103,7 +116,10 @@ func (p *Pool) Unpin(page int) { p.lru.Unpin(page) }
 func (p *Pool) Stats() (hits, misses, evictions uint64) { return p.lru.Stats() }
 
 // ResetStats zeroes the counters without disturbing contents.
-func (p *Pool) ResetStats() { p.lru.ResetStats() }
+func (p *Pool) ResetStats() {
+	p.lru.ResetStats()
+	p.readFailures = 0
+}
 
 // HitRatio returns the cumulative hit ratio.
 func (p *Pool) HitRatio() float64 { return p.lru.HitRatio() }

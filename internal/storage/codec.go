@@ -81,14 +81,26 @@ var (
 	zeroChecksum [4]byte
 )
 
+// VerifyPage checks a node page's stored checksum against its contents
+// without decoding it. It returns nil for an intact page and a
+// descriptive error for a short, torn, or bit-flipped one — the cheap
+// integrity probe the resilience layer and Scrub run before (or instead
+// of) a full DecodeNode.
+func VerifyPage(buf []byte) error {
+	if len(buf) < nodeHeaderSize {
+		return fmt.Errorf("storage: page too short (%d bytes)", len(buf))
+	}
+	if got, want := binary.LittleEndian.Uint32(buf[checksumOffset:]), pageChecksum(buf); got != want {
+		return fmt.Errorf("storage: checksum mismatch (%08x != %08x): corrupt or torn page", got, want)
+	}
+	return nil
+}
+
 // DecodeNode parses a node page. page is recorded into the result; the
 // buffer is not retained.
 func DecodeNode(buf []byte, page int) (rtree.NodeData, error) {
-	if len(buf) < nodeHeaderSize {
-		return rtree.NodeData{}, fmt.Errorf("storage: page %d too short (%d bytes)", page, len(buf))
-	}
-	if got, want := binary.LittleEndian.Uint32(buf[checksumOffset:]), pageChecksum(buf); got != want {
-		return rtree.NodeData{}, fmt.Errorf("storage: page %d checksum mismatch (%08x != %08x): corrupt or torn page", page, got, want)
+	if err := VerifyPage(buf); err != nil {
+		return rtree.NodeData{}, fmt.Errorf("storage: page %d: %w", page, err)
 	}
 	nd := rtree.NodeData{
 		Page:  page,

@@ -158,12 +158,20 @@ const (
 )
 
 // FileManager is a file-backed DiskManager using positional I/O.
+//
+// The header is written lazily: growing the file only updates the
+// in-memory page count, and the header block is rewritten on WriteMeta,
+// Flush, or Close — always after the page data has been synced, so a
+// crash can never leave a header advertising pages that were not
+// durably written. (Rewriting the page-sized header on every appended
+// page made SaveTree O(pages) redundant header writes.)
 type FileManager struct {
 	f        *os.File
 	pageSize int
 	numPages int
 	meta     []byte
 	stats    IOStats
+	hdrDirty bool // in-memory numPages is ahead of the on-disk header
 }
 
 // CreateFile creates (or truncates) a page file at path.
@@ -202,17 +210,41 @@ func OpenFile(path string) (*FileManager, error) {
 		_ = f.Close() // the original error is the one worth reporting
 		return nil, fmt.Errorf("storage: %s has format version %d, want %d", path, v, formatVersion)
 	}
+	// Validate the header against the laws of the format and against the
+	// file itself before trusting any of it: a truncated copy, a torn
+	// header write, or plain bit rot must fail here with a clear message,
+	// not surface later as an out-of-bounds read.
+	pageSize := int64(binary.LittleEndian.Uint32(hdr[12:16]))
+	numPages := int64(binary.LittleEndian.Uint32(hdr[16:20]))
+	metaLen := int64(binary.LittleEndian.Uint32(hdr[20:24]))
+	if pageSize < MinPageSize {
+		_ = f.Close() // the original error is the one worth reporting
+		return nil, fmt.Errorf("storage: %s header corrupt: page size %d < minimum %d", path, pageSize, MinPageSize)
+	}
+	if metaLen > pageSize-headerFixed {
+		_ = f.Close() // the original error is the one worth reporting
+		return nil, fmt.Errorf("storage: %s header corrupt: metadata length %d exceeds header capacity %d",
+			path, metaLen, pageSize-headerFixed)
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		_ = f.Close() // the original error is the one worth reporting
+		return nil, fmt.Errorf("storage: stating %s: %w", path, err)
+	}
+	// The header occupies one page-sized block and pages follow densely,
+	// so numPages pages need (numPages+1)*pageSize bytes. uint64 keeps
+	// the product exact: both factors fit in 32 bits.
+	if need := uint64(pageSize) * uint64(numPages+1); uint64(fi.Size()) < need {
+		_ = f.Close() // the original error is the one worth reporting
+		return nil, fmt.Errorf("storage: %s header corrupt: %d pages of %d bytes need %d bytes, file has %d",
+			path, numPages, pageSize, need, fi.Size())
+	}
 	fm := &FileManager{
 		f:        f,
-		pageSize: int(binary.LittleEndian.Uint32(hdr[12:16])),
-		numPages: int(binary.LittleEndian.Uint32(hdr[16:20])),
+		pageSize: int(pageSize),
+		numPages: int(numPages),
 	}
-	metaLen := int(binary.LittleEndian.Uint32(hdr[20:24]))
 	if metaLen > 0 {
-		if metaLen > fm.pageSize-headerFixed {
-			_ = f.Close() // the original error is the one worth reporting
-			return nil, fmt.Errorf("storage: %s metadata length %d corrupt", path, metaLen)
-		}
 		fm.meta = make([]byte, metaLen)
 		if _, err := f.ReadAt(fm.meta, headerFixed); err != nil {
 			_ = f.Close() // the original error is the one worth reporting
@@ -279,19 +311,46 @@ func (fm *FileManager) WritePage(page int, data []byte) error {
 	fm.stats.Writes++
 	if page >= fm.numPages {
 		fm.numPages = page + 1
-		return fm.writeHeader()
+		fm.hdrDirty = true
 	}
 	return nil
 }
 
-// WriteMeta implements DiskManager.
+// Flush publishes any deferred growth: it syncs the page data first and
+// only then rewrites the header, so the on-disk header never advertises
+// pages that a crash could have swallowed. It is a no-op when the header
+// is current. WriteMeta and Close flush implicitly.
+func (fm *FileManager) Flush() error {
+	if !fm.hdrDirty {
+		return nil
+	}
+	if err := fm.f.Sync(); err != nil {
+		return fmt.Errorf("storage: syncing pages before header update: %w", err)
+	}
+	if err := fm.writeHeader(); err != nil {
+		return err
+	}
+	fm.hdrDirty = false
+	return nil
+}
+
+// WriteMeta implements DiskManager. It also publishes any deferred page
+// growth, in crash-safe order (page data synced before the header that
+// advertises it).
 func (fm *FileManager) WriteMeta(meta []byte) error {
 	old := fm.meta
 	fm.meta = append([]byte(nil), meta...)
+	if fm.hdrDirty {
+		if err := fm.f.Sync(); err != nil {
+			fm.meta = old
+			return fmt.Errorf("storage: syncing pages before header update: %w", err)
+		}
+	}
 	if err := fm.writeHeader(); err != nil {
 		fm.meta = old
 		return err
 	}
+	fm.hdrDirty = false
 	return nil
 }
 
@@ -306,8 +365,13 @@ func (fm *FileManager) Stats() IOStats { return fm.stats }
 // ResetStats implements DiskManager.
 func (fm *FileManager) ResetStats() { fm.stats = IOStats{} }
 
-// Close implements DiskManager.
+// Close implements DiskManager, flushing any deferred header update
+// first.
 func (fm *FileManager) Close() error {
+	if err := fm.Flush(); err != nil {
+		_ = fm.f.Close() // the flush failure is the one worth reporting
+		return err
+	}
 	if err := fm.f.Sync(); err != nil {
 		_ = fm.f.Close() // the sync failure is the one worth reporting
 		return fmt.Errorf("storage: syncing: %w", err)

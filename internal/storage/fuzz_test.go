@@ -1,6 +1,9 @@
 package storage
 
 import (
+	"encoding/binary"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"rtreebuf/internal/geom"
@@ -67,6 +70,87 @@ func FuzzDecodeNode(f *testing.F) {
 			}
 			if _, err := DecodeNode(page, 0); err != nil {
 				t.Fatalf("re-decode failed: %v", err)
+			}
+		}
+	})
+}
+
+// FuzzOpenFile throws arbitrary file contents at the page-file opener:
+// whatever the header claims, OpenFile must either reject the file with
+// an error or produce a manager whose geometry is consistent with the
+// format's laws and the file's actual size — never panic, never trust a
+// header the file cannot back.
+func FuzzOpenFile(f *testing.F) {
+	// Seed with a genuine file plus targeted mutations of its header.
+	dir := f.TempDir()
+	good := filepath.Join(dir, "good.rt")
+	fm, err := CreateFile(good, MinPageSize)
+	if err != nil {
+		f.Fatal(err)
+	}
+	if err := fm.WritePage(0, make([]byte, MinPageSize)); err != nil {
+		f.Fatal(err)
+	}
+	if err := fm.WriteMeta([]byte("meta")); err != nil {
+		f.Fatal(err)
+	}
+	if err := fm.Close(); err != nil {
+		f.Fatal(err)
+	}
+	valid, err := os.ReadFile(good)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:5])           // truncated mid-magic
+	f.Add(valid[:headerFixed]) // header only, no pages
+	f.Add([]byte{})            // empty file
+	mutate := func(offset int, v uint32) []byte {
+		cp := append([]byte(nil), valid...)
+		binary.LittleEndian.PutUint32(cp[offset:], v)
+		return cp
+	}
+	f.Add(mutate(8, 99))          // bad version
+	f.Add(mutate(12, 8))          // page size below minimum
+	f.Add(mutate(12, 1<<31))      // absurd page size
+	f.Add(mutate(16, 1000))       // more pages than the file holds
+	f.Add(mutate(16, 0xffffffff)) // page count at the uint32 limit
+	f.Add(mutate(20, 0xffffffff)) // metadata length overflow
+	bad := append([]byte(nil), valid...)
+	copy(bad, "NOTATREE")
+	f.Add(bad)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), "fuzz.rt")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		fm, err := OpenFile(path)
+		if err != nil {
+			return
+		}
+		defer func() { _ = fm.Close() }()
+		if fm.PageSize() < MinPageSize {
+			t.Fatalf("accepted page size %d below minimum", fm.PageSize())
+		}
+		if fm.NumPages() < 0 {
+			t.Fatalf("negative page count %d", fm.NumPages())
+		}
+		if need := uint64(fm.PageSize()) * uint64(fm.NumPages()+1); uint64(len(data)) < need {
+			t.Fatalf("accepted header claiming %d bytes from a %d-byte file", need, len(data))
+		}
+		meta, err := fm.ReadMeta()
+		if err != nil {
+			t.Fatalf("accepted file but metadata unreadable: %v", err)
+		}
+		if len(meta) > fm.PageSize()-headerFixed {
+			t.Fatalf("metadata %d bytes exceeds header capacity", len(meta))
+		}
+		// Every advertised page must be readable (it is within the file).
+		buf := make([]byte, fm.PageSize())
+		for page := 0; page < fm.NumPages(); page++ {
+			if err := fm.ReadPage(page, buf); err != nil {
+				t.Fatalf("advertised page %d unreadable: %v", page, err)
 			}
 		}
 	})

@@ -1,0 +1,181 @@
+package storage
+
+import (
+	"fmt"
+	"time"
+)
+
+// RetryStats counts what the resilience layer did: Retries is the total
+// number of re-issued operations, Recoveries the operations that
+// ultimately succeeded after at least one retry, and Giveups the
+// operations that exhausted the retry budget and surfaced an error.
+type RetryStats struct {
+	Retries    uint64
+	Recoveries uint64
+	Giveups    uint64
+}
+
+// ResilientManager wraps a DiskManager with a retry policy for the
+// failures disks actually exhibit: operations failing with a Transient
+// error are retried with bounded exponential backoff, and (opt-in)
+// node-page reads whose checksum does not verify are re-read once before
+// the corruption error is surfaced — a wrong read off the wire is
+// transient, a wrong page on the medium is not.
+//
+// The sleep function is injectable so tests exercise the full backoff
+// schedule in zero wall-clock time. Everything else delegates, so
+// stacking ResilientManager over a FaultManager over a FileManager runs
+// the identical query path the paper's cost model prices.
+type ResilientManager struct {
+	inner      DiskManager
+	maxRetries int
+	baseDelay  time.Duration
+	maxDelay   time.Duration
+	sleep      func(time.Duration)
+	verify     bool
+	stats      RetryStats
+}
+
+// ResilientOption configures a ResilientManager.
+type ResilientOption func(*ResilientManager)
+
+// WithMaxRetries bounds how many times a transiently failing operation
+// is re-issued (default 4).
+func WithMaxRetries(n int) ResilientOption {
+	return func(r *ResilientManager) { r.maxRetries = n }
+}
+
+// WithBackoff sets the base and maximum retry delays. The nth retry
+// sleeps base<<(n-1), capped at limit (defaults 1ms and 100ms).
+func WithBackoff(base, limit time.Duration) ResilientOption {
+	return func(r *ResilientManager) { r.baseDelay, r.maxDelay = base, limit }
+}
+
+// WithSleep injects the sleep function (default time.Sleep). Tests pass
+// a recorder so the whole backoff schedule runs instantly.
+func WithSleep(sleep func(time.Duration)) ResilientOption {
+	return func(r *ResilientManager) { r.sleep = sleep }
+}
+
+// WithChecksumVerify makes ReadPage verify the node-page checksum after
+// every successful read and re-read once on mismatch, catching transport
+// or memory corruption between the medium and the caller.
+func WithChecksumVerify(on bool) ResilientOption {
+	return func(r *ResilientManager) { r.verify = on }
+}
+
+// NewResilientManager wraps inner with the default policy (4 retries,
+// 1ms..100ms backoff, real sleep, no checksum verification) adjusted by
+// the given options.
+func NewResilientManager(inner DiskManager, opts ...ResilientOption) *ResilientManager {
+	r := &ResilientManager{
+		inner:      inner,
+		maxRetries: 4,
+		baseDelay:  time.Millisecond,
+		maxDelay:   100 * time.Millisecond,
+		sleep:      time.Sleep,
+	}
+	for _, o := range opts {
+		o(r)
+	}
+	return r
+}
+
+// RetryStats returns the cumulative retry counters.
+func (r *ResilientManager) RetryStats() RetryStats { return r.stats }
+
+// ResetRetryStats zeroes the retry counters.
+func (r *ResilientManager) ResetRetryStats() { r.stats = RetryStats{} }
+
+// retry runs op, re-issuing it on Transient errors with exponential
+// backoff. Non-transient errors surface immediately: retrying a medium
+// error only burns the latency budget.
+func (r *ResilientManager) retry(op func() error) error {
+	delay := r.baseDelay
+	var err error
+	for attempt := 0; ; attempt++ {
+		err = op()
+		if err == nil {
+			if attempt > 0 {
+				r.stats.Recoveries++
+			}
+			return nil
+		}
+		if !Transient(err) {
+			return err
+		}
+		if attempt >= r.maxRetries {
+			r.stats.Giveups++
+			return fmt.Errorf("storage: gave up after %d retries: %w", r.maxRetries, err)
+		}
+		r.stats.Retries++
+		r.sleep(delay)
+		if delay *= 2; delay > r.maxDelay {
+			delay = r.maxDelay
+		}
+	}
+}
+
+// PageSize implements DiskManager.
+func (r *ResilientManager) PageSize() int { return r.inner.PageSize() }
+
+// NumPages implements DiskManager.
+func (r *ResilientManager) NumPages() int { return r.inner.NumPages() }
+
+// ReadPage implements DiskManager with transient-error retry and
+// optional checksum verification with a single re-read.
+func (r *ResilientManager) ReadPage(page int, dst []byte) error {
+	if err := r.retry(func() error { return r.inner.ReadPage(page, dst) }); err != nil {
+		return err
+	}
+	if !r.verify {
+		return nil
+	}
+	if VerifyPage(dst[:r.inner.PageSize()]) == nil {
+		return nil
+	}
+	// Mismatch: re-read once. If the copy on the medium is fine the
+	// second read verifies; if the medium itself is corrupt this fails
+	// identically and the caller gets the checksum error.
+	r.stats.Retries++
+	if err := r.retry(func() error { return r.inner.ReadPage(page, dst) }); err != nil {
+		return err
+	}
+	if err := VerifyPage(dst[:r.inner.PageSize()]); err != nil {
+		r.stats.Giveups++
+		return fmt.Errorf("storage: page %d corrupt after re-read: %w", page, err)
+	}
+	r.stats.Recoveries++
+	return nil
+}
+
+// WritePage implements DiskManager with transient-error retry.
+func (r *ResilientManager) WritePage(page int, data []byte) error {
+	return r.retry(func() error { return r.inner.WritePage(page, data) })
+}
+
+// WriteMeta implements DiskManager with transient-error retry.
+func (r *ResilientManager) WriteMeta(meta []byte) error {
+	return r.retry(func() error { return r.inner.WriteMeta(meta) })
+}
+
+// ReadMeta implements DiskManager with transient-error retry.
+func (r *ResilientManager) ReadMeta() ([]byte, error) {
+	var out []byte
+	err := r.retry(func() error {
+		var e error
+		out, e = r.inner.ReadMeta()
+		return e
+	})
+	return out, err
+}
+
+// Stats implements DiskManager, delegating physical I/O accounting
+// (retried reads are physical reads and count as such).
+func (r *ResilientManager) Stats() IOStats { return r.inner.Stats() }
+
+// ResetStats implements DiskManager.
+func (r *ResilientManager) ResetStats() { r.inner.ResetStats() }
+
+// Close implements DiskManager.
+func (r *ResilientManager) Close() error { return r.inner.Close() }

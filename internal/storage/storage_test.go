@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"encoding/binary"
 	"math/rand/v2"
 	"os"
 	"path/filepath"
@@ -303,6 +304,152 @@ func TestOpenFileRejectsGarbage(t *testing.T) {
 	os.WriteFile(short, []byte("x"), 0o644)
 	if _, err := OpenFile(short); err == nil {
 		t.Error("truncated file opened")
+	}
+}
+
+// corruptHeaderFile writes a valid page file, then rewrites one 32-bit
+// header field, returning the path.
+func corruptHeaderFile(t *testing.T, offset int, v uint32) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "hdr.db")
+	fm, err := CreateFile(path, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fm.WritePage(0, make([]byte, 512)); err != nil {
+		t.Fatal(err)
+	}
+	if err := fm.WriteMeta([]byte("catalog")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fm.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	binary.LittleEndian.PutUint32(raw[offset:], v)
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestOpenFileValidatesHeader(t *testing.T) {
+	cases := []struct {
+		name   string
+		offset int
+		value  uint32
+	}{
+		{"page size below minimum", 12, 8},
+		{"page size zero", 12, 0},
+		{"more pages than the file", 16, 100},
+		{"page count at uint32 limit", 16, 0xffffffff},
+		{"metadata longer than header", 20, 5000},
+		{"metadata length overflow", 20, 0xffffffff},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := corruptHeaderFile(t, tc.offset, tc.value)
+			if fm, err := OpenFile(path); err == nil {
+				_ = fm.Close()
+				t.Fatalf("corrupt header (%s) accepted", tc.name)
+			}
+		})
+	}
+	// The unmutated file still opens: the validation is not just
+	// rejecting everything.
+	path := corruptHeaderFile(t, 16, 1) // numPages = 1, its true value
+	fm, err := OpenFile(path)
+	if err != nil {
+		t.Fatalf("valid header rejected: %v", err)
+	}
+	if err := fm.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// readHeaderNumPages reads the on-disk page count directly, bypassing
+// the manager, to observe when the header actually hits the file.
+func readHeaderNumPages(t *testing.T, path string) int {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return int(binary.LittleEndian.Uint32(raw[16:20]))
+}
+
+func TestFileManagerDefersHeaderUpdates(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "defer.db")
+	fm, err := CreateFile(path, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	page := make([]byte, 512)
+	for i := 0; i < 5; i++ {
+		if err := fm.WritePage(i, page); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Growth is visible in memory immediately but not on disk yet: the
+	// header is batched, not rewritten per page.
+	if fm.NumPages() != 5 {
+		t.Fatalf("in-memory NumPages = %d", fm.NumPages())
+	}
+	if got := readHeaderNumPages(t, path); got != 0 {
+		t.Fatalf("header advertises %d pages before flush", got)
+	}
+	if err := fm.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := readHeaderNumPages(t, path); got != 5 {
+		t.Fatalf("header advertises %d pages after flush, want 5", got)
+	}
+	// Flush with nothing pending is a no-op.
+	if err := fm.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// More growth, published by Close this time.
+	if err := fm.WritePage(7, page); err != nil {
+		t.Fatal(err)
+	}
+	if err := fm.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := readHeaderNumPages(t, path); got != 8 {
+		t.Fatalf("header advertises %d pages after close, want 8", got)
+	}
+	re, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.NumPages() != 8 {
+		t.Errorf("reopened NumPages = %d", re.NumPages())
+	}
+	if err := re.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFileManagerWriteMetaPublishesGrowth(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "meta.db")
+	fm, err := CreateFile(path, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fm.WritePage(2, make([]byte, 512)); err != nil {
+		t.Fatal(err)
+	}
+	if err := fm.WriteMeta([]byte("cat")); err != nil {
+		t.Fatal(err)
+	}
+	if got := readHeaderNumPages(t, path); got != 3 {
+		t.Fatalf("WriteMeta published %d pages, want 3", got)
+	}
+	if err := fm.Close(); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -4,6 +4,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"os"
+	"path/filepath"
 
 	"rtreebuf/internal/buffer"
 	"rtreebuf/internal/geom"
@@ -112,6 +114,63 @@ func SaveTree(dm DiskManager, t *rtree.Tree) error {
 	return dm.WriteMeta(encodeMeta(meta))
 }
 
+// SaveTreeAtomic persists t to path with all-or-nothing semantics: the
+// tree is written to a temporary file in the same directory, synced,
+// and renamed over path only once every byte is durable. A crash at any
+// point leaves either the complete old file or the complete new one —
+// never a torn mix — which SaveTree over an existing file cannot
+// promise (it overwrites pages in place).
+func SaveTreeAtomic(path string, pageSize int, t *rtree.Tree) error {
+	return SaveTreeAtomicWith(path, pageSize, t, nil)
+}
+
+// SaveTreeAtomicWith is SaveTreeAtomic with an injectable wrapper around
+// the temporary file's manager — the hook the fault harness uses to
+// interrupt the save at any chosen write. wrap may be nil.
+func SaveTreeAtomicWith(path string, pageSize int, t *rtree.Tree, wrap func(DiskManager) DiskManager) error {
+	dir := filepath.Dir(path)
+	tmpf, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("storage: creating temp file for atomic save: %w", err)
+	}
+	tmp := tmpf.Name()
+	if err := tmpf.Close(); err != nil {
+		_ = os.Remove(tmp) // the close failure is the one worth reporting
+		return fmt.Errorf("storage: closing temp file %s: %w", tmp, err)
+	}
+	fm, err := CreateFile(tmp, pageSize)
+	if err != nil {
+		_ = os.Remove(tmp) // the create failure is the one worth reporting
+		return err
+	}
+	var dm DiskManager = fm
+	if wrap != nil {
+		dm = wrap(fm)
+	}
+	if err := SaveTree(dm, t); err != nil {
+		// Release the real file even if the wrapper is fail-stop, then
+		// drop the partial temp so a failed save leaves no debris.
+		_ = fm.f.Close() // the save failure is the one worth reporting
+		_ = os.Remove(tmp)
+		return err
+	}
+	if err := fm.Close(); err != nil { // flushes the header, then syncs
+		_ = os.Remove(tmp) // the close failure is the one worth reporting
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		_ = os.Remove(tmp) // the rename failure is the one worth reporting
+		return fmt.Errorf("storage: atomic rename to %s: %w", path, err)
+	}
+	// Sync the directory so the rename itself survives a crash.
+	// Best-effort: some platforms cannot sync directories.
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+	return nil
+}
+
 // LoadTree reads a persisted tree fully into memory, validating its
 // structure. Use OpenPagedTree instead to query on-disk pages through a
 // buffer pool.
@@ -216,6 +275,59 @@ func (pt *PagedTree) SearchWindow(q geom.Rect) ([]rtree.Item, error) {
 // SearchPoint is SearchWindow for a degenerate point query.
 func (pt *PagedTree) SearchPoint(p geom.Point) ([]rtree.Item, error) {
 	return pt.SearchWindow(geom.PointRect(p))
+}
+
+// CorruptionReport lists the pages a degraded search had to skip, with
+// the error each one failed on. An empty report means the query saw
+// only healthy pages and its result is complete.
+type CorruptionReport struct {
+	Faults []PageFault
+}
+
+// Degraded reports whether any subtree was skipped (the result set may
+// be missing items stored under the damaged pages).
+func (r *CorruptionReport) Degraded() bool { return len(r.Faults) > 0 }
+
+// SearchWindowDegraded is SearchWindow in graceful-degradation mode:
+// instead of failing the whole query on the first unreadable or corrupt
+// page, it skips that subtree, keeps answering from healthy pages, and
+// records the damage in the returned report. The result is a complete
+// answer when the report is clean and a best-effort lower bound when it
+// is not — the opt-in behaviour for serving reads off a partially
+// damaged file while a repair (Scrub + re-save) is scheduled.
+func (pt *PagedTree) SearchWindowDegraded(q geom.Rect) ([]rtree.Item, *CorruptionReport) {
+	var out []rtree.Item
+	rep := &CorruptionReport{}
+	pt.searchDegraded(0, q, &out, rep)
+	return out, rep
+}
+
+// SearchPointDegraded is SearchWindowDegraded for a point query.
+func (pt *PagedTree) SearchPointDegraded(p geom.Point) ([]rtree.Item, *CorruptionReport) {
+	return pt.SearchWindowDegraded(geom.PointRect(p))
+}
+
+func (pt *PagedTree) searchDegraded(page int, q geom.Rect, out *[]rtree.Item, rep *CorruptionReport) {
+	frame, err := pt.pool.Get(page)
+	if err != nil {
+		rep.Faults = append(rep.Faults, PageFault{Page: page, Err: err})
+		return
+	}
+	nd, err := DecodeNode(frame, page)
+	if err != nil {
+		rep.Faults = append(rep.Faults, PageFault{Page: page, Err: err})
+		return
+	}
+	for i, r := range nd.Rects {
+		if !r.Intersects(q) {
+			continue
+		}
+		if nd.Leaf {
+			*out = append(*out, rtree.Item{Rect: r, ID: nd.IDs[i]})
+		} else {
+			pt.searchDegraded(nd.Children[i], q, out, rep)
+		}
+	}
 }
 
 // Nearest returns the k stored items closest to p (Euclidean distance to
