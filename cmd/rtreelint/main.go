@@ -1,23 +1,33 @@
 // Command rtreelint runs the repository's project-specific static
 // analyzers (internal/analysis) over the module and exits nonzero on any
-// finding. It is stdlib-only and needs no tools beyond the Go toolchain:
+// non-baselined finding. It is stdlib-only and needs no tools beyond the
+// Go toolchain:
 //
 //	go run ./cmd/rtreelint ./...
 //
 // Findings print as "file:line:col: analyzer: message". Intentional
-// exceptions are annotated in the source with //lint:allow <analyzer>.
+// exceptions are annotated in the source with //lint:allow <analyzer>;
+// known findings awaiting fixes live in the baseline file.
 //
 // Flags:
 //
-//	-root dir   module root to analyze (default: nearest go.mod upward)
-//	-list       list the analyzers and their target packages, then exit
+//	-root dir        module root to analyze (default: nearest go.mod upward)
+//	-list            list the analyzers and their target packages, then exit
+//	-json            emit findings as a JSON array on stdout
+//	-facts name      dump the call-graph facts for matching functions, then exit
+//	                 (name forms: "Get", "(*Pool).Get", "buffer.(*Pool).Get")
+//	-baseline file   accepted-findings file (default: <root>/.rtreelint-baseline
+//	                 when present); baselined findings are reported but not fatal
+//	-write-baseline  rewrite the baseline file to accept all current findings
 //
 // The package patterns on the command line are accepted for familiarity
-// ("./...") but the whole module is always loaded; analyzers restrict
-// themselves to their declared target packages.
+// ("./...") but the whole module is always loaded; per-package analyzers
+// restrict themselves to their declared targets, and the module-wide
+// analyzers (lockcheck, hotalloc, iopurity) see everything.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -26,15 +36,25 @@ import (
 	"rtreebuf/internal/analysis"
 )
 
+// defaultBaseline is the conventional baseline location at the module root.
+const defaultBaseline = ".rtreelint-baseline"
+
 func main() {
 	root := flag.String("root", "", "module root to analyze (default: nearest go.mod upward from the working directory)")
 	list := flag.Bool("list", false, "list analyzers and exit")
+	jsonOut := flag.Bool("json", false, "emit findings as JSON on stdout")
+	factsOf := flag.String("facts", "", "dump call-graph facts for functions matching `name` and exit")
+	baselinePath := flag.String("baseline", "", "baseline `file` of accepted findings (default: <root>/"+defaultBaseline+" if present)")
+	writeBaseline := flag.Bool("write-baseline", false, "rewrite the baseline file accepting all current findings")
 	flag.Parse()
 
 	analyzers := analysis.Analyzers()
 	if *list {
 		for _, a := range analyzers {
 			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+			if a.CheckModule != nil {
+				fmt.Printf("           module-wide (call-graph facts)\n")
+			}
 			for _, t := range a.Targets {
 				fmt.Printf("           target %s\n", t)
 			}
@@ -58,25 +78,138 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	findings := analysis.Run(pkgs, analyzers)
-	for _, f := range findings {
-		fmt.Println(relativize(f))
+
+	if *factsOf != "" {
+		dumpFacts(pkgs, *factsOf)
+		return
 	}
-	if len(findings) > 0 {
-		fmt.Fprintf(os.Stderr, "rtreelint: %d finding(s)\n", len(findings))
+
+	findings := analysis.Run(pkgs, analyzers)
+
+	bpath := *baselinePath
+	if bpath == "" {
+		if p := filepath.Join(dir, defaultBaseline); fileExists(p) {
+			bpath = p
+		}
+	}
+	if *writeBaseline {
+		if bpath == "" {
+			bpath = filepath.Join(dir, defaultBaseline)
+		}
+		if err := analysis.WriteBaseline(bpath, dir, findings); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "rtreelint: wrote %d finding(s) to %s\n", len(findings), bpath)
+		return
+	}
+	baseline, err := analysis.LoadBaseline(bpath)
+	if err != nil {
+		fatal(err)
+	}
+
+	var fresh []analysis.Finding
+	baselined := 0
+	for _, f := range findings {
+		if baseline.Has(analysis.BaselineKey(dir, f)) {
+			baselined++
+		} else {
+			fresh = append(fresh, f)
+		}
+	}
+
+	if *jsonOut {
+		printJSON(fresh)
+	} else {
+		for _, f := range fresh {
+			fmt.Println(relativize(f))
+		}
+	}
+	if baselined > 0 {
+		fmt.Fprintf(os.Stderr, "rtreelint: %d baselined finding(s) suppressed (see %s)\n", baselined, bpath)
+	}
+	if len(fresh) > 0 {
+		fmt.Fprintf(os.Stderr, "rtreelint: %d finding(s)\n", len(fresh))
 		os.Exit(1)
+	}
+}
+
+// jsonFinding is the machine-readable finding shape for -json consumers
+// (CI artifact tooling, editors).
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func printJSON(findings []analysis.Finding) {
+	out := make([]jsonFinding, 0, len(findings))
+	for _, f := range findings {
+		out = append(out, jsonFinding{
+			File:     f.Pos.Filename,
+			Line:     f.Pos.Line,
+			Column:   f.Pos.Column,
+			Analyzer: f.Analyzer,
+			Message:  f.Message,
+		})
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fatal(err)
+	}
+}
+
+// dumpFacts prints the fact store's view of every function matching name:
+// the transitive fact set, one witness chain per fact, and the function's
+// own allocation sites. This is the debugging lens for "why does lockcheck
+// think this callee blocks?".
+func dumpFacts(pkgs []*analysis.Package, name string) {
+	graph := analysis.NewModule(pkgs).Graph
+	nodes := graph.ResolveName(name)
+	if len(nodes) == 0 {
+		fatal(fmt.Errorf("no function matches %q", name))
+	}
+	for _, n := range nodes {
+		pos := n.Pkg.Fset.Position(n.Decl.Pos())
+		fmt.Printf("%s\t%s:%d\n", n, relPath(pos.Filename), pos.Line)
+		fmt.Printf("  facts: %s\n", n.Facts)
+		for _, fact := range n.Facts.Facts() {
+			for i, hop := range graph.FactChain(n, fact) {
+				if i == 0 {
+					fmt.Printf("  %-12s %s\n", fact.String()+":", hop)
+				} else {
+					fmt.Printf("  %-12s   -> %s\n", "", hop)
+				}
+			}
+		}
+		for _, a := range n.Allocs {
+			apos := n.Pkg.Fset.Position(a.Pos)
+			fmt.Printf("  alloc: %s at %s:%d\n", a.What, relPath(apos.Filename), apos.Line)
+		}
 	}
 }
 
 // relativize shortens the finding's file path relative to the working
 // directory when possible, keeping output stable for editors and CI logs.
 func relativize(f analysis.Finding) string {
+	f.Pos.Filename = relPath(f.Pos.Filename)
+	return f.String()
+}
+
+func relPath(name string) string {
 	if wd, err := os.Getwd(); err == nil {
-		if rel, err := filepath.Rel(wd, f.Pos.Filename); err == nil && !filepath.IsAbs(rel) {
-			f.Pos.Filename = rel
+		if rel, err := filepath.Rel(wd, name); err == nil && !filepath.IsAbs(rel) {
+			return rel
 		}
 	}
-	return f.String()
+	return name
+}
+
+func fileExists(path string) bool {
+	_, err := os.Stat(path)
+	return err == nil
 }
 
 func fatal(err error) {

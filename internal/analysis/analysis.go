@@ -65,6 +65,11 @@ type Analyzer struct {
 	// Check reports findings for one package. Suppression annotations are
 	// applied by the runner, not by Check.
 	Check func(pkg *Package) []Finding
+	// CheckModule reports findings over the whole module at once; set it
+	// instead of Check for flow-aware analyzers that need the call graph
+	// and cross-package facts (Targets does not apply: the call graph is
+	// global, findings land wherever the evidence is).
+	CheckModule func(m *Module) []Finding
 }
 
 // AppliesTo reports whether the analyzer targets the given import path.
@@ -125,6 +130,21 @@ func Analyzers() []*Analyzer {
 			},
 			Check: checkProbRange,
 		},
+		{
+			Name:        "lockcheck",
+			Doc:         "missing Unlock on a return path, or a lock held across a blocking/I/O call",
+			CheckModule: checkLock,
+		},
+		{
+			Name:        "hotalloc",
+			Doc:         "heap allocation in a function reachable from the query hot roots",
+			CheckModule: func(m *Module) []Finding { return checkHotAlloc(m, HotRoots()) },
+		},
+		{
+			Name:        "iopurity",
+			Doc:         "simulation/model roots transitively reach disk or OS I/O",
+			CheckModule: func(m *Module) []Finding { return checkIOPurity(m, PureRoots()) },
+		},
 	}
 }
 
@@ -133,9 +153,30 @@ func Analyzers() []*Analyzer {
 // file, line, and column.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
 	var out []Finding
+	var mod *Module
+	var byFile map[string]*Package
+	for _, a := range analyzers {
+		if a.CheckModule == nil {
+			continue
+		}
+		if mod == nil {
+			mod = NewModule(pkgs)
+			byFile = make(map[string]*Package)
+			for _, pkg := range pkgs {
+				for _, f := range pkg.Files {
+					byFile[pkg.Fset.Position(f.Pos()).Filename] = pkg
+				}
+			}
+		}
+		for _, f := range a.CheckModule(mod) {
+			if p := byFile[f.Pos.Filename]; p == nil || !p.allowed(f.Analyzer, f.Pos) {
+				out = append(out, f)
+			}
+		}
+	}
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
-			if !a.AppliesTo(pkg.ImportPath) {
+			if a.Check == nil || !a.AppliesTo(pkg.ImportPath) {
 				continue
 			}
 			for _, f := range a.Check(pkg) {

@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"fmt"
 	"go/ast"
 	"go/parser"
 	"go/token"
@@ -17,9 +18,11 @@ func fixturePkg(t *testing.T, src string) *Package {
 	t.Helper()
 	fixtureMu.Lock()
 	defer fixtureMu.Unlock()
-	if fixtureImp == nil {
+	if fixtureFset == nil {
 		fixtureFset = token.NewFileSet()
-		fixtureImp = newModuleImporter(fixtureFset)
+	}
+	if fixtureImp == nil {
+		fixtureImp = newModuleImporter()
 	}
 	file, err := parser.ParseFile(fixtureFset, t.Name()+".go", src, parser.ParseComments|parser.SkipObjectResolution)
 	if err != nil {
@@ -37,6 +40,70 @@ var (
 	fixtureFset *token.FileSet
 	fixtureImp  *moduleImporter
 )
+
+// fixtureFile is one package of a multi-package fixture. Path is the
+// import path; later files may import earlier ones.
+type fixtureFile struct {
+	path string
+	src  string
+}
+
+// fixtureModule typechecks a small multi-package module (files in
+// dependency order), using a private importer so fixture import paths
+// never collide across tests. File names are "<TestName>_<i>.go".
+func fixtureModule(t *testing.T, files []fixtureFile) []*Package {
+	t.Helper()
+	fixtureMu.Lock()
+	defer fixtureMu.Unlock()
+	if fixtureFset == nil {
+		fixtureFset = token.NewFileSet()
+	}
+	imp := newModuleImporter()
+	pkgs := make([]*Package, 0, len(files))
+	for i, f := range files {
+		name := fmt.Sprintf("%s_%d.go", t.Name(), i)
+		file, err := parser.ParseFile(fixtureFset, name, f.src, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("parsing fixture %s: %v", f.path, err)
+		}
+		pkg, err := typecheck(fixtureFset, &rawPkg{importPath: f.path, files: []*ast.File{file}}, imp)
+		if err != nil {
+			t.Fatalf("typechecking fixture %s: %v", f.path, err)
+		}
+		imp.module[f.path] = pkg.Types
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs
+}
+
+// runModuleFixture runs one module-wide analyzer over a multi-package
+// fixture, comparing findings per file against the "// WANT" markers.
+func runModuleFixture(t *testing.T, a *Analyzer, files []fixtureFile) {
+	t.Helper()
+	pkgs := fixtureModule(t, files)
+	findings := Run(pkgs, []*Analyzer{a})
+	want := make(map[string]map[int]bool, len(files))
+	for i, f := range files {
+		want[fmt.Sprintf("%s_%d.go", t.Name(), i)] = wantLines(f.src)
+	}
+	got := make(map[string]map[int]bool)
+	for _, f := range findings {
+		if got[f.Pos.Filename] == nil {
+			got[f.Pos.Filename] = make(map[int]bool)
+		}
+		got[f.Pos.Filename][f.Pos.Line] = true
+		if !want[f.Pos.Filename][f.Pos.Line] {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	for name, lines := range want {
+		for line := range lines {
+			if !got[name][line] {
+				t.Errorf("missing finding at %s:%d", name, line)
+			}
+		}
+	}
+}
 
 // wantLines returns the 1-based line numbers carrying a "// WANT" marker.
 func wantLines(src string) map[int]bool {

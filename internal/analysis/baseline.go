@@ -1,0 +1,92 @@
+package analysis
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Baseline is the set of findings a repository has accepted for now, so
+// a new analyzer can land (and gate CI) before every pre-existing finding
+// is fixed. The file format is one finding per line,
+//
+//	relative/path.go: analyzer: message
+//
+// with '#' comments and blank lines ignored. Keys deliberately omit
+// line/column numbers: unrelated edits above a baselined finding must not
+// un-baseline it. The flip side — moving a baselined finding to another
+// message or file resurfaces it — is the desired behaviour.
+type Baseline struct {
+	path string
+	keys map[string]bool
+}
+
+// BaselineKey renders a finding as its baseline-file line, with the file
+// path relative to the module root.
+func BaselineKey(root string, f Finding) string {
+	name := f.Pos.Filename
+	if rel, err := filepath.Rel(root, name); err == nil && !strings.HasPrefix(rel, "..") {
+		name = filepath.ToSlash(rel)
+	}
+	return fmt.Sprintf("%s: %s: %s", name, f.Analyzer, f.Message)
+}
+
+// LoadBaseline reads a baseline file. A missing file is an error; pass
+// the empty path to get an empty baseline.
+func LoadBaseline(path string) (*Baseline, error) {
+	b := &Baseline{path: path, keys: make(map[string]bool)}
+	if path == "" {
+		return b, nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: reading baseline: %w", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		b.keys[line] = true
+	}
+	return b, nil
+}
+
+// Has reports whether the finding key is baselined. A nil baseline
+// accepts nothing.
+func (b *Baseline) Has(key string) bool { return b != nil && b.keys[key] }
+
+// Len returns the number of baselined findings.
+func (b *Baseline) Len() int {
+	if b == nil {
+		return 0
+	}
+	return len(b.keys)
+}
+
+// WriteBaseline writes the findings as a baseline file, sorted and
+// deduplicated, with a header explaining the workflow.
+func WriteBaseline(path, root string, findings []Finding) error {
+	seen := make(map[string]bool)
+	var keys []string
+	for _, f := range findings {
+		key := BaselineKey(root, f)
+		if !seen[key] {
+			seen[key] = true
+			keys = append(keys, key)
+		}
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	sb.WriteString("# rtreelint baseline: accepted findings, one per line\n")
+	sb.WriteString("# (file: analyzer: message — no line numbers, so edits elsewhere don't invalidate entries).\n")
+	sb.WriteString("# Regenerate with: go run ./cmd/rtreelint -write-baseline\n")
+	sb.WriteString("# Shrink it over time; never grow it without a review.\n")
+	for _, k := range keys {
+		sb.WriteString(k)
+		sb.WriteByte('\n')
+	}
+	return os.WriteFile(path, []byte(sb.String()), 0o644)
+}

@@ -1,0 +1,81 @@
+package analysis
+
+import (
+	"go/token"
+	"path/filepath"
+	"testing"
+)
+
+func TestBaselineRoundTrip(t *testing.T) {
+	root := t.TempDir()
+	inTree := filepath.Join(root, "a", "b.go")
+	findings := []Finding{
+		{Pos: token.Position{Filename: inTree, Line: 10, Column: 2}, Analyzer: "lockcheck", Message: "mu held across call"},
+		// Same file/analyzer/message at another line: must dedupe to one key.
+		{Pos: token.Position{Filename: inTree, Line: 99, Column: 1}, Analyzer: "lockcheck", Message: "mu held across call"},
+		// Outside the root: the key falls back to the absolute path.
+		{Pos: token.Position{Filename: filepath.Join(string(filepath.Separator), "elsewhere", "c.go"), Line: 3, Column: 1}, Analyzer: "hotalloc", Message: "make in hot function"},
+	}
+	path := filepath.Join(root, ".rtreelint-baseline")
+	if err := WriteBaseline(path, root, findings); err != nil {
+		t.Fatal(err)
+	}
+	b, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 2 {
+		t.Errorf("baseline has %d keys, want 2 (deduplicated)", b.Len())
+	}
+	for _, f := range findings {
+		if !b.Has(BaselineKey(root, f)) {
+			t.Errorf("baseline lacks key for %s", f)
+		}
+	}
+	// Keys are line-insensitive: the same finding after unrelated edits
+	// above it stays baselined.
+	moved := findings[0]
+	moved.Pos.Line = 500
+	if !b.Has(BaselineKey(root, moved)) {
+		t.Error("moving a finding to another line un-baselined it")
+	}
+	// A different message resurfaces.
+	changed := findings[0]
+	changed.Message = "mu held across other call"
+	if b.Has(BaselineKey(root, changed)) {
+		t.Error("a changed message must not stay baselined")
+	}
+}
+
+func TestBaselineEmptyAndMissing(t *testing.T) {
+	b, err := LoadBaseline("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 0 || b.Has("anything") {
+		t.Error("empty-path baseline must accept nothing")
+	}
+	if _, err := LoadBaseline(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("a missing baseline file must be an error, not an empty baseline")
+	}
+}
+
+func TestBaselineSkipsComments(t *testing.T) {
+	root := t.TempDir()
+	path := filepath.Join(root, "bl")
+	f := Finding{Pos: token.Position{Filename: filepath.Join(root, "x.go"), Line: 1, Column: 1}, Analyzer: "errcheck", Message: "discarded error"}
+	if err := WriteBaseline(path, root, []Finding{f}); err != nil {
+		t.Fatal(err)
+	}
+	b, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The written file carries a comment header; only the finding counts.
+	if b.Len() != 1 {
+		t.Errorf("baseline has %d keys, want 1 (header comments ignored)", b.Len())
+	}
+	if !b.Has(BaselineKey(root, f)) {
+		t.Error("round-tripped finding not found")
+	}
+}

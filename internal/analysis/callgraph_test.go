@@ -1,0 +1,139 @@
+package analysis
+
+import "testing"
+
+// one resolves exactly one node by name (bare or display form).
+func one(t *testing.T, g *CallGraph, name string) *FuncNode {
+	t.Helper()
+	nodes := g.ResolveName(name)
+	if len(nodes) != 1 {
+		t.Fatalf("ResolveName(%q) = %d nodes, want 1", name, len(nodes))
+	}
+	return nodes[0]
+}
+
+// TestFactsMutualRecursionSCC puts the I/O evidence outside a two-function
+// cycle: both members must inherit it, the witness chain must thread
+// through the cycle to the intrinsic, and a self-recursive pure function
+// must stay pure.
+func TestFactsMutualRecursionSCC(t *testing.T) {
+	pkg := fixturePkg(t, `package scc
+
+import "os"
+
+func ping(n int) error {
+	if n == 0 {
+		return touch()
+	}
+	return pong(n - 1)
+}
+
+func pong(n int) error {
+	return ping(n - 1)
+}
+
+func touch() error {
+	_, err := os.Create("x")
+	return err
+}
+
+func pure(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return n + pure(n-1)
+}
+`)
+	g := NewModule([]*Package{pkg}).Graph
+	for _, name := range []string{"ping", "pong", "touch"} {
+		n := one(t, g, name)
+		if n.Facts&FactDoesIO == 0 || n.Facts&FactMayBlock == 0 {
+			t.Errorf("%s facts = %s, want doesIO|mayBlock", name, n.Facts)
+		}
+	}
+	if p := one(t, g, "pure"); p.Facts != 0 {
+		t.Errorf("pure facts = %s, want pure", p.Facts)
+	}
+	chain := g.FactChain(one(t, g, "pong"), FactDoesIO)
+	if len(chain) < 2 {
+		t.Errorf("FactChain(pong, doesIO) = %v, want a multi-hop chain through the cycle", chain)
+	}
+}
+
+// TestFactsMethodValueReference checks the conservative reference edge: a
+// method handed around as a value taints the function forming the value,
+// because the graph cannot see where the value is invoked.
+func TestFactsMethodValueReference(t *testing.T) {
+	pkg := fixturePkg(t, `package mv
+
+import "os"
+
+type sink struct{ f *os.File }
+
+func (s *sink) flush() error {
+	return s.f.Sync()
+}
+
+func holder(s *sink) func() error {
+	return s.flush
+}
+
+func bystander(n int) int {
+	return n * 2
+}
+`)
+	g := NewModule([]*Package{pkg}).Graph
+	h := one(t, g, "holder")
+	if h.Facts&FactDoesIO == 0 {
+		t.Errorf("holder facts = %s, want doesIO through the method value", h.Facts)
+	}
+	if b := one(t, g, "bystander"); b.Facts != 0 {
+		t.Errorf("bystander facts = %s, want pure", b.Facts)
+	}
+}
+
+// TestDispatchTargetsOverInterface checks CHA resolution: a call through
+// an interface must list every module implementer as a target and union
+// their facts.
+func TestDispatchTargetsOverInterface(t *testing.T) {
+	pkg := fixturePkg(t, `package ifd
+
+import "os"
+
+type device interface {
+	read(p []byte) (int, error)
+}
+
+type fileDev struct{ f *os.File }
+
+func (d *fileDev) read(p []byte) (int, error) { return d.f.Read(p) }
+
+type memDev struct{ data []byte }
+
+func (d *memDev) read(p []byte) (int, error) { return copy(p, d.data), nil }
+
+func drain(d device, p []byte) (int, error) {
+	return d.read(p)
+}
+`)
+	g := NewModule([]*Package{pkg}).Graph
+	n := one(t, g, "drain")
+	var dispatch *Call
+	for _, c := range n.Calls {
+		if c.Dispatch {
+			if dispatch != nil {
+				t.Fatalf("drain has more than one dispatch site")
+			}
+			dispatch = c
+		}
+	}
+	if dispatch == nil {
+		t.Fatal("drain has no dispatch call site")
+	}
+	if len(dispatch.Targets) != 2 {
+		t.Errorf("dispatch targets = %d, want 2 (fileDev and memDev)", len(dispatch.Targets))
+	}
+	if n.Facts&FactDoesIO == 0 {
+		t.Errorf("drain facts = %s, want doesIO from the fileDev implementer", n.Facts)
+	}
+}

@@ -1,0 +1,400 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strings"
+)
+
+// FactSet is a bitmask of behavioural facts about a function. Facts are
+// computed bottom-up over the call graph's strongly connected components,
+// so they are transitive: a function has doesIO if anything it can reach
+// does I/O, across package boundaries and interface dispatch.
+type FactSet uint8
+
+const (
+	// FactDoesIO: the function can reach a disk/OS/network operation.
+	FactDoesIO FactSet = 1 << iota
+	// FactMayBlock: the function can block (channel ops, lock waits,
+	// sleeps, I/O).
+	FactMayBlock
+	// FactAcquiresLock: the function can acquire a sync.Mutex/RWMutex.
+	FactAcquiresLock
+	// FactAllocates: the function can allocate on the heap.
+	FactAllocates
+
+	factEnd
+)
+
+var factNames = map[FactSet]string{
+	FactDoesIO:       "doesIO",
+	FactMayBlock:     "mayBlock",
+	FactAcquiresLock: "acquiresLock",
+	FactAllocates:    "allocates",
+}
+
+// String renders the set as "doesIO|mayBlock" ("pure" when empty).
+func (f FactSet) String() string {
+	if f == 0 {
+		return "pure"
+	}
+	var parts []string
+	for bit := FactSet(1); bit < factEnd; bit <<= 1 {
+		if f&bit != 0 {
+			parts = append(parts, factNames[bit])
+		}
+	}
+	return strings.Join(parts, "|")
+}
+
+// Facts returns the individual bits of the set.
+func (f FactSet) Facts() []FactSet {
+	var out []FactSet
+	for bit := FactSet(1); bit < factEnd; bit <<= 1 {
+		if f&bit != 0 {
+			out = append(out, bit)
+		}
+	}
+	return out
+}
+
+// stdFacts classifies a non-module (stdlib) function into intrinsic
+// facts, and reports whether it is a direct sync lock acquisition or
+// release. The table is deliberately coarse — anything in os/net/syscall
+// counts as I/O — because iopurity-style checks want "cannot possibly
+// touch the disk", not a precise effect system.
+func stdFacts(fn *types.Func) (facts FactSet, acquire, release bool) {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return 0, false, false
+	}
+	path, name := pkg.Path(), fn.Name()
+	switch {
+	case path == "sync":
+		switch recvBase(fn) {
+		case "Mutex", "RWMutex":
+			switch name {
+			case "Lock", "RLock":
+				return FactAcquiresLock | FactMayBlock, true, false
+			case "TryLock", "TryRLock":
+				return FactAcquiresLock, false, false // conditional: not modelled as held
+			case "Unlock", "RUnlock":
+				return 0, false, true
+			}
+		case "WaitGroup", "Cond":
+			if name == "Wait" {
+				return FactMayBlock, false, false
+			}
+		case "Once":
+			if name == "Do" {
+				return FactMayBlock, false, false
+			}
+		}
+	case path == "time":
+		if name == "Sleep" {
+			return FactMayBlock, false, false
+		}
+	case path == "os" || strings.HasPrefix(path, "os/"),
+		path == "syscall" || strings.HasPrefix(path, "syscall/"),
+		path == "net" || strings.HasPrefix(path, "net/"),
+		path == "io/ioutil":
+		return FactDoesIO | FactMayBlock, false, false
+	case path == "fmt":
+		if strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint") ||
+			strings.HasPrefix(name, "Scan") || strings.HasPrefix(name, "Fscan") {
+			return FactDoesIO | FactMayBlock, false, false
+		}
+	case path == "log" || strings.HasPrefix(path, "log/"):
+		return FactDoesIO | FactMayBlock, false, false
+	case path == "bufio":
+		// Flushing/reading forwards to the wrapped reader/writer; the
+		// wrapped value's origin carries the I/O fact where it matters.
+	}
+	return 0, false, false
+}
+
+// witness records how a function acquired one fact: through a call into
+// callee, or (callee == nil) through an intrinsic in its own body.
+type witness struct {
+	callee *FuncNode
+	pos    token.Pos
+	what   string
+}
+
+// computeFacts condenses the graph into SCCs (Tarjan) and propagates
+// facts bottom-up: an SCC's fact set is the union of its members'
+// intrinsics and of every fact of every callee outside the SCC. Tarjan
+// emits SCCs in reverse topological order of the condensation — every
+// SCC only after all SCCs it can reach — so a single pass suffices.
+func (g *CallGraph) computeFacts() {
+	index := 0
+	var stack []*FuncNode
+	var sccs [][]*FuncNode
+	var connect func(n *FuncNode)
+	connect = func(n *FuncNode) {
+		index++
+		n.index, n.lowlink = index, index
+		stack = append(stack, n)
+		n.onStack = true
+		for _, c := range n.Calls {
+			for _, t := range c.Targets {
+				if t.index == 0 {
+					connect(t)
+					if t.lowlink < n.lowlink {
+						n.lowlink = t.lowlink
+					}
+				} else if t.onStack && t.index < n.lowlink {
+					n.lowlink = t.index
+				}
+			}
+		}
+		if n.lowlink == n.index {
+			var scc []*FuncNode
+			for {
+				m := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				m.onStack = false
+				scc = append(scc, m)
+				if m == n {
+					break
+				}
+			}
+			sccs = append(sccs, scc)
+		}
+	}
+	for _, n := range g.order {
+		if n.index == 0 {
+			connect(n)
+		}
+	}
+
+	for _, scc := range sccs {
+		inSCC := make(map[*FuncNode]bool, len(scc))
+		for _, m := range scc {
+			inSCC[m] = true
+		}
+		var facts FactSet
+		for _, m := range scc {
+			for _, in := range m.Intrinsics {
+				facts |= in.Fact
+			}
+			if len(m.Allocs) > 0 {
+				facts |= FactAllocates
+			}
+			for _, c := range m.Calls {
+				facts |= c.Std
+				for _, t := range c.Targets {
+					if !inSCC[t] {
+						facts |= t.Facts
+					}
+				}
+			}
+		}
+		for _, m := range scc {
+			m.Facts = facts
+		}
+		assignWitnesses(scc, inSCC, facts)
+	}
+}
+
+// assignWitnesses records, for every member of an SCC and every fact the
+// SCC carries, one concrete reason: an own intrinsic or allocation if the
+// member has one, else a call to a function whose reason is already
+// known. Iterating until fixpoint threads witnesses through cycles.
+func assignWitnesses(scc []*FuncNode, inSCC map[*FuncNode]bool, facts FactSet) {
+	for _, fact := range facts.Facts() {
+		resolved := make(map[*FuncNode]bool, len(scc))
+		for _, m := range scc {
+			if w := ownWitness(m, fact); w != nil {
+				m.via[fact] = w
+				resolved[m] = true
+			}
+		}
+		for changed := true; changed; {
+			changed = false
+			for _, m := range scc {
+				if resolved[m] {
+					continue
+				}
+			calls:
+				for _, c := range m.Calls {
+					for _, t := range c.Targets {
+						if inSCC[t] && resolved[t] {
+							m.via[fact] = &witness{callee: t, pos: c.Pos, what: c.Desc}
+							resolved[m] = true
+							changed = true
+							break calls
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// ownWitness finds a reason for the fact within the function itself: an
+// intrinsic, an allocation site, or a call to an outside function already
+// carrying the fact.
+func ownWitness(m *FuncNode, fact FactSet) *witness {
+	for _, in := range m.Intrinsics {
+		if in.Fact&fact != 0 {
+			return &witness{pos: in.Pos, what: in.What}
+		}
+	}
+	if fact == FactAllocates && len(m.Allocs) > 0 {
+		a := m.Allocs[0]
+		return &witness{pos: a.Pos, what: a.What}
+	}
+	for _, c := range m.Calls {
+		for _, t := range c.Targets {
+			if t.Facts&fact != 0 && t.via[fact] != nil {
+				return &witness{callee: t, pos: c.Pos, what: c.Desc}
+			}
+		}
+	}
+	return nil
+}
+
+// FactChain explains how fn acquired fact as a call chain ending at the
+// intrinsic source, one "who: why at file:line" entry per hop.
+func (g *CallGraph) FactChain(n *FuncNode, fact FactSet) []string {
+	var out []string
+	seen := make(map[*FuncNode]bool)
+	for n != nil && !seen[n] {
+		seen[n] = true
+		w := n.via[fact]
+		if w == nil {
+			out = append(out, n.String())
+			break
+		}
+		pos := n.Pkg.Fset.Position(w.pos)
+		loc := fmt.Sprintf("%s:%d", filepath.Base(pos.Filename), pos.Line)
+		if w.callee == nil {
+			out = append(out, fmt.Sprintf("%s: %s at %s", n, w.what, loc))
+			break
+		}
+		out = append(out, fmt.Sprintf("%s: calls %s at %s", n, w.callee, loc))
+		n = w.callee
+	}
+	return out
+}
+
+// RootSpec names a set of root functions for reachability-based checks.
+type RootSpec struct {
+	// Path is the import path holding the roots.
+	Path string
+	// Recv is the receiver's named type without pointer ("Tree"); ""
+	// matches package-level functions only, "*" matches any receiver.
+	Recv string
+	// Name is the function name; a trailing "*" matches a prefix.
+	Name string
+}
+
+func (s RootSpec) String() string {
+	recv := ""
+	if s.Recv != "" && s.Recv != "*" {
+		recv = "(*" + s.Recv + ")."
+	}
+	base := s.Path
+	if i := strings.LastIndexByte(base, '/'); i >= 0 {
+		base = base[i+1:]
+	}
+	return base + "." + recv + s.Name
+}
+
+// Resolve returns the nodes matched by the spec, in graph order.
+func (g *CallGraph) Resolve(spec RootSpec) []*FuncNode {
+	var out []*FuncNode
+	for _, n := range g.order {
+		if n.Pkg.ImportPath != spec.Path {
+			continue
+		}
+		switch spec.Recv {
+		case "*":
+		case "":
+			if recvBase(n.Fn) != "" {
+				continue
+			}
+		default:
+			if recvBase(n.Fn) != spec.Recv {
+				continue
+			}
+		}
+		if pre, ok := strings.CutSuffix(spec.Name, "*"); ok {
+			if !strings.HasPrefix(n.Fn.Name(), pre) {
+				continue
+			}
+		} else if n.Fn.Name() != spec.Name {
+			continue
+		}
+		out = append(out, n)
+	}
+	return out
+}
+
+// ResolveName matches nodes by display name for the -facts flag: exact
+// display name ("buffer.(*Pool).Get"), bare function name ("Get"), or a
+// display-name suffix ("(*Pool).Get").
+func (g *CallGraph) ResolveName(name string) []*FuncNode {
+	var out []*FuncNode
+	for _, n := range g.order {
+		d := n.String()
+		if d == name || n.Fn.Name() == name || strings.HasSuffix(d, name) {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Reachable walks calls and value references breadth-first from roots and
+// returns every node reached, mapped to the node it was first reached
+// from (roots map to nil).
+func (g *CallGraph) Reachable(roots []*FuncNode) map[*FuncNode]*FuncNode {
+	parent := make(map[*FuncNode]*FuncNode)
+	queue := make([]*FuncNode, 0, len(roots))
+	for _, r := range roots {
+		if _, ok := parent[r]; !ok {
+			parent[r] = nil
+			queue = append(queue, r)
+		}
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, c := range n.Calls {
+			for _, t := range c.Targets {
+				if _, ok := parent[t]; !ok {
+					parent[t] = n
+					queue = append(queue, t)
+				}
+			}
+		}
+	}
+	return parent
+}
+
+// RootPath renders the reach chain from a root to n ("a -> b -> c").
+func RootPath(parent map[*FuncNode]*FuncNode, n *FuncNode) string {
+	var chain []string
+	for at := n; at != nil; at = parent[at] {
+		chain = append(chain, at.String())
+	}
+	for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+		chain[i], chain[j] = chain[j], chain[i]
+	}
+	return strings.Join(chain, " -> ")
+}
+
+// Module bundles the loaded packages with their call graph for
+// module-scoped analyzers.
+type Module struct {
+	Pkgs  []*Package
+	Graph *CallGraph
+}
+
+// NewModule builds the call graph over the given packages.
+func NewModule(pkgs []*Package) *Module {
+	return &Module{Pkgs: pkgs, Graph: NewCallGraph(pkgs)}
+}

@@ -1,0 +1,44 @@
+package analysis
+
+import "fmt"
+
+// hotalloc reports heap-allocation sites inside functions transitively
+// reachable from the query hot roots: the paper's core cost is per-query
+// node probability evaluation plus the buffer lookup, so a hidden
+// allocation there shifts every measured curve. Deliberate allocations
+// (result materialization, one-time setup on a hot type) are annotated
+// with `//lint:allow hotalloc <reason>` at the site.
+func checkHotAlloc(m *Module, roots []RootSpec) []Finding {
+	g := m.Graph
+	var rootNodes []*FuncNode
+	for _, spec := range roots {
+		rootNodes = append(rootNodes, g.Resolve(spec)...)
+	}
+	parent := g.Reachable(rootNodes)
+	var out []Finding
+	for _, n := range g.Nodes() {
+		if _, hot := parent[n]; !hot {
+			continue
+		}
+		for _, a := range n.Allocs {
+			out = append(out, Finding{
+				Pos:      n.Pkg.Fset.Position(a.Pos),
+				Analyzer: "hotalloc",
+				Message:  fmt.Sprintf("%s in hot function %s (%s)", a.What, n, RootPath(parent, n)),
+			})
+		}
+	}
+	return out
+}
+
+// HotRoots names the query-hot-path entry points hotalloc guards. The
+// guard test TestHotRootsExist keeps this list attached to real code.
+func HotRoots() []RootSpec {
+	const mod = "rtreebuf"
+	return []RootSpec{
+		{Path: mod + "/internal/rtree", Recv: "Tree", Name: "Search*"},
+		{Path: mod + "/internal/buffer", Recv: "Pool", Name: "Get"},
+		{Path: mod + "/internal/core", Recv: "*", Name: "AccessProb"},
+		{Path: mod + "/internal/core", Name: "AccessProbs"},
+	}
+}

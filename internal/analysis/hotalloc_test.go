@@ -1,0 +1,63 @@
+package analysis
+
+import "testing"
+
+// TestHotAllocFixture seeds allocations at three distances from the hot
+// root: in the root itself, in a cross-package callee, and in a function
+// the roots cannot reach (which must stay silent). A lint:allow line
+// checks the suppression path through Run.
+func TestHotAllocFixture(t *testing.T) {
+	a := &Analyzer{
+		Name: "hotalloc",
+		CheckModule: func(m *Module) []Finding {
+			return checkHotAlloc(m, []RootSpec{
+				{Path: "fixture/TestHotAllocFixture/index", Recv: "Tree", Name: "Search*"},
+			})
+		},
+	}
+	runModuleFixture(t, a, []fixtureFile{
+		{
+			path: "fixture/TestHotAllocFixture/mem",
+			src: `package mem
+
+// Grow rides the hot path only because index.Search calls it.
+func Grow(dst []int, v int) []int {
+	return append(dst, v) // WANT
+}
+`,
+		},
+		{
+			path: "fixture/TestHotAllocFixture/index",
+			src: `package index
+
+import "fixture/TestHotAllocFixture/mem"
+
+type Tree struct {
+	vals []int
+}
+
+func (t *Tree) Search(q int) []int {
+	out := make([]int, 0, 4) // WANT
+	for _, v := range t.vals {
+		if v == q {
+			out = mem.Grow(out, v)
+		}
+	}
+	return out
+}
+
+func (t *Tree) SearchAll() []int {
+	//lint:allow hotalloc result materialization is the contract
+	out := make([]int, len(t.vals))
+	copy(out, t.vals)
+	return out
+}
+
+// Size is not reachable from any Search* root; its allocation is fine.
+func (t *Tree) Size() []int {
+	return make([]int, len(t.vals))
+}
+`,
+		},
+	})
+}

@@ -1,0 +1,49 @@
+package analysis
+
+import "testing"
+
+// TestIOPurityFixture routes I/O into a root two packages deep: Run ->
+// store.Dump -> os.WriteFile. The finding lands on the root declaration,
+// and the pure sibling matched by the same Run* spec stays silent.
+func TestIOPurityFixture(t *testing.T) {
+	a := &Analyzer{
+		Name: "iopurity",
+		CheckModule: func(m *Module) []Finding {
+			return checkIOPurity(m, []RootSpec{
+				{Path: "fixture/TestIOPurityFixture/simx", Name: "Run*"},
+			})
+		},
+	}
+	runModuleFixture(t, a, []fixtureFile{
+		{
+			path: "fixture/TestIOPurityFixture/store",
+			src: `package store
+
+import "os"
+
+func Dump(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}
+`,
+		},
+		{
+			path: "fixture/TestIOPurityFixture/simx",
+			src: `package simx
+
+import "fixture/TestIOPurityFixture/store"
+
+func Run(path string) error { // WANT
+	return store.Dump(path, nil)
+}
+
+func RunPure(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += i
+	}
+	return total
+}
+`,
+		},
+	})
+}

@@ -3,7 +3,6 @@ package analysis
 import (
 	"fmt"
 	"go/ast"
-	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
@@ -223,7 +222,7 @@ func LoadModule(root string) ([]*Package, error) {
 		return nil, err
 	}
 
-	imp := newModuleImporter(fset)
+	imp := newModuleImporter()
 	var out []*Package
 	for _, rp := range order {
 		pkg, err := typecheck(fset, rp, imp)
@@ -283,17 +282,19 @@ func topoSort(raw map[string]*rawPkg) ([]*rawPkg, error) {
 }
 
 // moduleImporter resolves module-internal imports from the packages
-// typechecked so far and everything else through the stdlib source
-// importer.
+// typechecked so far and everything else through the process-wide
+// memoizing stdlib importer (see stdimporter.go). Stdlib packages are
+// typechecked against their own shared FileSet; analyzers only ever
+// format positions of module syntax, so the split is invisible to them.
 type moduleImporter struct {
 	module map[string]*types.Package
 	std    types.Importer
 }
 
-func newModuleImporter(fset *token.FileSet) *moduleImporter {
+func newModuleImporter() *moduleImporter {
 	return &moduleImporter{
 		module: make(map[string]*types.Package),
-		std:    importer.ForCompiler(fset, "source", nil),
+		std:    std,
 	}
 }
 

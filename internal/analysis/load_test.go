@@ -8,7 +8,7 @@ import (
 
 // repoRoot locates the module root of this repository from the test's
 // working directory.
-func repoRoot(t *testing.T) string {
+func repoRoot(t testing.TB) string {
 	t.Helper()
 	wd, err := os.Getwd()
 	if err != nil {

@@ -78,7 +78,89 @@ func (p *Pool) takeFrame() []byte {
 		p.free = p.free[:n-1]
 		return f
 	}
+	//lint:allow hotalloc frame allocation is the one-time cost of growing the buffer
 	return make([]byte, p.src.PageSize())
+}
+
+// The methods below split Get's fault path into phases so a locked
+// wrapper (SyncPool) can interleave its own synchronization: probe the
+// cache (TryGet), read the source with no pool state touched (readPage),
+// then commit the fault (install) or back it out (failedFault) — without
+// ever holding a state lock across the source read.
+
+// TryGet returns the frame if page is resident, counting a hit; on a miss
+// it performs no accounting, leaving the fault to the caller. Pages being
+// concurrently faulted (resident but frameless) report as missing so
+// callers route through the fault path.
+func (p *Pool) TryGet(page int) ([]byte, bool, error) {
+	if page < 0 || page >= len(p.frames) {
+		return nil, false, fmt.Errorf("buffer: page %d outside [0,%d)", page, len(p.frames))
+	}
+	if !p.lru.Contains(page) || p.frames[page] == nil {
+		return nil, false, nil
+	}
+	p.lru.Access(page) // resident: counts the hit and touches recency
+	return p.frames[page], true, nil
+}
+
+// readPage fills dst from the source. It touches no pool state, so a
+// wrapper may call it without holding the lock guarding the pool.
+func (p *Pool) readPage(page int, dst []byte) error {
+	return p.src.ReadPage(page, dst)
+}
+
+// install commits a successful fault: counts the miss (evicting if
+// needed) and copies data into a frame.
+func (p *Pool) install(page int, data []byte) {
+	if p.lru.Access(page) {
+		copy(p.frames[page], data) // lost a fault race: refresh in place
+		return
+	}
+	frame := p.takeFrame()
+	copy(frame, data)
+	p.frames[page] = frame
+}
+
+// failedFault accounts for a fault whose source read failed: the miss
+// still counts (a physical read was issued) but nothing stays resident.
+// The returned error matches Get's wrapping.
+func (p *Pool) failedFault(page int, err error) error {
+	p.lru.Access(page)
+	p.readFailures++
+	p.lru.Remove(page)
+	return fmt.Errorf("buffer: reading page %d: %w", page, err)
+}
+
+// preparePin pins the page slot and reports whether the caller must read
+// its contents (it was not resident). See Pin for single-step use.
+func (p *Pool) preparePin(page int) (needRead bool, err error) {
+	if page < 0 || page >= len(p.frames) {
+		return false, fmt.Errorf("buffer: page %d outside [0,%d)", page, len(p.frames))
+	}
+	if p.lru.pinned[page] {
+		return false, nil
+	}
+	resident := p.lru.Contains(page)
+	if err := p.lru.Pin(page); err != nil {
+		return false, err
+	}
+	return !resident, nil
+}
+
+// installPinned stores the contents of a freshly pinned page.
+func (p *Pool) installPinned(page int, data []byte) {
+	frame := p.takeFrame()
+	copy(frame, data)
+	p.frames[page] = frame
+}
+
+// failedPin backs out preparePin after a failed source read, matching
+// Pin's error wrapping.
+func (p *Pool) failedPin(page int, err error) error {
+	p.readFailures++
+	p.lru.Unpin(page)
+	p.lru.Remove(page)
+	return fmt.Errorf("buffer: pinning page %d: %w", page, err)
 }
 
 // Pin makes page permanently resident (reading it if absent).

@@ -7,52 +7,130 @@ import "sync"
 // workloads it models is not; SyncPool lets multiple goroutines share one
 // buffer (and its statistics) safely.
 //
-// Get copies the frame out under the lock instead of returning an alias:
-// an aliased frame could be evicted and recycled by a concurrent miss
-// while the caller still reads it. The copy costs one page-size memcpy
-// per access — the honest price of a shared buffer without page latches;
-// callers that need zero-copy should shard trees across per-goroutine
-// Pools instead.
+// Two mutexes split the two jobs a naive wrapper gives one lock:
+//
+//   - mu guards the pool's state (LRU lists, frames, counters) and is
+//     never held across a PageSource read — a slow or retrying disk read
+//     must not stall hits on resident pages (rtreelint's lockcheck
+//     enforces this);
+//   - ioMu serializes PageSource access (the storage managers are not
+//     concurrency-safe) and doubles as single-flight for concurrent
+//     misses on the same page: the second misser blocks on ioMu, then
+//     re-checks residency and hits. ioMu is always acquired before mu.
+//
+// Get copies the frame out under mu instead of returning an alias: an
+// aliased frame could be evicted and recycled by a concurrent miss while
+// the caller still reads it. The copy costs one page-size memcpy per
+// access — the honest price of a shared buffer without page latches;
+// callers that need zero-copy should use View, or shard trees across
+// per-goroutine Pools.
 type SyncPool struct {
-	mu   sync.Mutex
-	pool *Pool
+	mu      sync.Mutex // pool state; never held across source I/O
+	ioMu    sync.Mutex // serializes source reads; acquired before mu
+	pool    *Pool
+	readBuf []byte // fault staging buffer, guarded by ioMu
 }
 
 // NewSyncPool wraps src in a thread-safe pool of the given capacity.
 func NewSyncPool(src PageSource, capacity, numPages int) *SyncPool {
-	return &SyncPool{pool: NewPool(src, capacity, numPages)}
+	return &SyncPool{
+		pool:    NewPool(src, capacity, numPages),
+		readBuf: make([]byte, src.PageSize()),
+	}
 }
 
 // Get returns a copy of the page contents, faulting it in on a miss.
 // The returned slice is owned by the caller.
 func (s *SyncPool) Get(page int) ([]byte, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	frame, err := s.pool.Get(page)
-	if err != nil {
-		return nil, err
+	frame, ok, err := s.pool.TryGet(page)
+	var out []byte
+	if ok {
+		out = append([]byte(nil), frame...)
 	}
-	return append([]byte(nil), frame...), nil
+	s.mu.Unlock()
+	if ok || err != nil {
+		return out, err
+	}
+	return s.fault(page)
 }
 
-// View invokes f with the buffer frame under the pool lock — zero-copy
-// access for callers that only need to read briefly. f must not retain
-// the slice or call back into the pool.
+// View invokes f with the page contents — zero-copy (the buffer frame,
+// under the pool lock) when the page is resident, a private copy when it
+// had to be faulted in. f must not retain the slice or call back into
+// the pool.
 func (s *SyncPool) View(page int, f func([]byte) error) error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	frame, err := s.pool.Get(page)
+	frame, ok, err := s.pool.TryGet(page)
+	if ok {
+		err = f(frame)
+	}
+	s.mu.Unlock()
+	if ok || err != nil {
+		return err
+	}
+	data, err := s.fault(page)
 	if err != nil {
 		return err
 	}
-	return f(frame)
+	return f(data)
+}
+
+// fault reads page from the source and installs it, returning a copy the
+// caller owns. The read happens under ioMu only; pool state is touched
+// under mu before and after.
+func (s *SyncPool) fault(page int) ([]byte, error) {
+	s.ioMu.Lock()
+	defer s.ioMu.Unlock()
+
+	// Re-check residency: a concurrent fault of the same page completed
+	// while this goroutine waited on ioMu.
+	s.mu.Lock()
+	frame, ok, err := s.pool.TryGet(page)
+	var out []byte
+	if ok {
+		out = append([]byte(nil), frame...)
+	}
+	s.mu.Unlock()
+	if ok || err != nil {
+		return out, err
+	}
+
+	err = s.pool.readPage(page, s.readBuf) //lint:allow lockcheck serializing source I/O is ioMu's purpose
+	if err != nil {
+		s.mu.Lock()
+		err = s.pool.failedFault(page, err)
+		s.mu.Unlock()
+		return nil, err
+	}
+	out = append([]byte(nil), s.readBuf...)
+	s.mu.Lock()
+	s.pool.install(page, s.readBuf)
+	s.mu.Unlock()
+	return out, nil
 }
 
 // Pin makes page permanently resident.
 func (s *SyncPool) Pin(page int) error {
+	s.ioMu.Lock()
+	defer s.ioMu.Unlock()
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.pool.Pin(page)
+	need, err := s.pool.preparePin(page)
+	s.mu.Unlock()
+	if err != nil || !need {
+		return err
+	}
+	err = s.pool.readPage(page, s.readBuf) //lint:allow lockcheck serializing source I/O is ioMu's purpose
+	if err != nil {
+		s.mu.Lock()
+		err = s.pool.failedPin(page, err)
+		s.mu.Unlock()
+		return err
+	}
+	s.mu.Lock()
+	s.pool.installPinned(page, s.readBuf)
+	s.mu.Unlock()
+	return nil
 }
 
 // Unpin returns a pinned page to LRU management.

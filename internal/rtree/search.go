@@ -21,23 +21,26 @@ func (t *Tree) SearchPoint(p geom.Point) []Item {
 // false from visit stops the search early (existence tests, LIMIT-style
 // queries). It reports whether the search ran to completion.
 func (t *Tree) SearchWindowFunc(q geom.Rect, visit func(Item) bool) bool {
-	var rec func(n *node) bool
-	rec = func(n *node) bool {
-		for _, e := range n.entries {
-			if !e.rect.Intersects(q) {
-				continue
-			}
-			if n.isLeaf() {
-				if !visit(Item{Rect: e.rect, ID: e.id}) {
-					return false
-				}
-			} else if !rec(e.child) {
+	return t.searchFunc(t.root, q, visit)
+}
+
+// searchFunc is the recursive worker of SearchWindowFunc. It is a method,
+// not a per-query recursive closure, so a streaming search allocates
+// nothing beyond what visit itself does (hotalloc keeps it that way).
+func (t *Tree) searchFunc(n *node, q geom.Rect, visit func(Item) bool) bool {
+	for _, e := range n.entries {
+		if !e.rect.Intersects(q) {
+			continue
+		}
+		if n.isLeaf() {
+			if !visit(Item{Rect: e.rect, ID: e.id}) {
 				return false
 			}
+		} else if !t.searchFunc(e.child, q, visit) {
+			return false
 		}
-		return true
 	}
-	return rec(t.root)
+	return true
 }
 
 // Intersecting reports whether any stored item intersects q, descending
@@ -57,6 +60,7 @@ func (t *Tree) searchNode(n *node, q geom.Rect, out *[]Item) {
 			continue
 		}
 		if n.isLeaf() {
+			//lint:allow hotalloc materializing the result slice is SearchWindow's contract
 			*out = append(*out, Item{Rect: e.rect, ID: e.id})
 		} else {
 			t.searchNode(e.child, q, out)
