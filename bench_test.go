@@ -205,3 +205,36 @@ func BenchmarkModelEvaluation(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkDiskAccessesSweep compares the batched buffer-size sweep
+// against evaluating the model independently per size over a dense
+// figure-style grid (the shape every fig6/fig9/fig11 panel evaluates).
+// The sweep shares the probability-log pass and warm-starts each N*
+// search, so "sweep" should beat "per-size" by several times while
+// producing bit-identical values (asserted in internal/core tests).
+func BenchmarkDiskAccessesSweep(b *testing.B) {
+	items := ablationItems(50000)
+	tree, err := rtreebuf.Load(rtreebuf.HilbertSort, rtreebuf.Params{MaxEntries: 100}, items)
+	if err != nil {
+		b.Fatal(err)
+	}
+	levels := tree.Levels()
+	qm, _ := rtreebuf.NewUniformQueries(0.1, 0.1)
+	pred := rtreebuf.NewPredictor(levels, qm)
+	bufs := make([]int, 0, 60)
+	for bs := 10; bs <= 600; bs += 10 {
+		bufs = append(bufs, bs)
+	}
+	b.Run("per-size", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, bs := range bufs {
+				_ = pred.DiskAccesses(bs)
+			}
+		}
+	})
+	b.Run("sweep", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = pred.DiskAccessesSweep(bufs)
+		}
+	})
+}

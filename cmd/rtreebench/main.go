@@ -2,22 +2,29 @@
 //
 // Usage:
 //
-//	rtreebench [-quick] [-seed N] [-batches N] [-batchsize N] [-csv] [ids...]
+//	rtreebench [-quick] [-seed N] [-batches N] [-batchsize N] [-csv]
+//	           [-parallel N] [-benchjson path] [ids...]
 //
 // With no ids it runs every registered experiment in order. Each
 // experiment prints its tables (aligned text, or CSV with -csv) followed
-// by notes relating the output to the paper's claims.
+// by notes relating the output to the paper's claims. Experiments run
+// over a worker pool with a shared dataset/tree build cache; output is
+// byte-identical whatever the worker count.
 //
 //	rtreebench table1            # model-vs-simulation validation
 //	rtreebench fig6 fig9         # the buffer-matters headline figures
 //	rtreebench -quick            # reduced sizes, ~seconds
+//	rtreebench -parallel 1       # serial reference run
+//	rtreebench -benchjson out.json   # machine-readable timing summary
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"time"
 
 	"rtreebuf/internal/experiments"
@@ -38,6 +45,62 @@ func writeCSVs(dir string, rep *experiments.Report) error {
 	return nil
 }
 
+// benchExperiment is one entry of the -benchjson summary.
+type benchExperiment struct {
+	ID      string  `json:"id"`
+	Seconds float64 `json:"seconds"`
+	Tables  int     `json:"tables"`
+}
+
+// benchMark is one before/after micro-benchmark record. rtreebench does
+// not run these itself; checked-in BENCH_PR*.json files append them from
+// `go test -bench` runs on the same machine as the experiment timings.
+type benchMark struct {
+	Name     string  `json:"name"`
+	BeforeNs float64 `json:"before_ns_op,omitempty"`
+	AfterNs  float64 `json:"after_ns_op"`
+	Speedup  float64 `json:"speedup,omitempty"`
+	Note     string  `json:"note,omitempty"`
+}
+
+// benchSummary is the machine-readable run record emitted by -benchjson;
+// BENCH_PR*.json files checked into the repository use this schema.
+type benchSummary struct {
+	Generated    string            `json:"generated"`
+	GoVersion    string            `json:"go_version"`
+	CPUs         int               `json:"cpus"`
+	Workers      int               `json:"workers"`
+	Quick        bool              `json:"quick"`
+	Seed         uint64            `json:"seed"`
+	Experiments  []benchExperiment `json:"experiments"`
+	TotalSeconds float64           `json:"total_seconds"`
+	Benchmarks   []benchMark       `json:"benchmarks,omitempty"`
+}
+
+func writeBenchJSON(path string, workers int, cfg experiments.Config, timings []experiments.Timing, reports []*experiments.Report, total time.Duration) error {
+	s := benchSummary{
+		Generated:    time.Now().UTC().Format(time.RFC3339),
+		GoVersion:    runtime.Version(),
+		CPUs:         runtime.NumCPU(),
+		Workers:      workers,
+		Quick:        cfg.Quick,
+		Seed:         cfg.Seed,
+		TotalSeconds: total.Seconds(),
+	}
+	for i, tm := range timings {
+		s.Experiments = append(s.Experiments, benchExperiment{
+			ID:      tm.ID,
+			Seconds: tm.Seconds,
+			Tables:  len(reports[i].Tables),
+		})
+	}
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
 func main() {
 	quick := flag.Bool("quick", false, "shrink data sizes and simulation lengths")
 	seed := flag.Uint64("seed", 0, "generator seed (0 = fixed default)")
@@ -46,6 +109,8 @@ func main() {
 	csv := flag.Bool("csv", false, "emit tables as CSV instead of aligned text")
 	outDir := flag.String("outdir", "", "also write each table as <outdir>/<experiment>_<n>.csv")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	parallel := flag.Int("parallel", 0, "experiment worker count (0 = NumCPU, 1 = serial)")
+	benchJSON := flag.String("benchjson", "", "write a machine-readable timing summary to this path")
 	flag.Parse()
 
 	if *list {
@@ -67,16 +132,18 @@ func main() {
 	if len(ids) == 0 {
 		ids = experiments.IDs()
 	}
-	for _, id := range ids {
-		start := time.Now()
-		rep, err := experiments.Run(id, cfg)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "rtreebench: %s: %v\n", id, err)
-			os.Exit(1)
-		}
+	start := time.Now()
+	reports, timings, err := experiments.RunAllTimed(ids, cfg, *parallel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rtreebench: %v\n", err)
+		os.Exit(1)
+	}
+	total := time.Since(start)
+
+	for i, rep := range reports {
 		if *csv {
-			for i := range rep.Tables {
-				fmt.Printf("# %s\n%s\n", rep.Tables[i].Name, rep.Tables[i].CSV())
+			for j := range rep.Tables {
+				fmt.Printf("# %s\n%s\n", rep.Tables[j].Name, rep.Tables[j].CSV())
 			}
 		} else {
 			fmt.Print(rep.Text())
@@ -87,6 +154,14 @@ func main() {
 				os.Exit(1)
 			}
 		}
-		fmt.Printf("[%s completed in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("[%s completed in %v]\n\n", rep.ID, time.Duration(timings[i].Seconds*float64(time.Second)).Round(time.Millisecond))
+	}
+	fmt.Printf("[all %d experiments in %v]\n", len(reports), total.Round(time.Millisecond))
+
+	if *benchJSON != "" {
+		if err := writeBenchJSON(*benchJSON, *parallel, cfg, timings, reports, total); err != nil {
+			fmt.Fprintf(os.Stderr, "rtreebench: writing %s: %v\n", *benchJSON, err)
+			os.Exit(1)
+		}
 	}
 }

@@ -40,5 +40,7 @@ func HotRoots() []RootSpec {
 		{Path: mod + "/internal/buffer", Recv: "Pool", Name: "Get"},
 		{Path: mod + "/internal/core", Recv: "*", Name: "AccessProb"},
 		{Path: mod + "/internal/core", Name: "AccessProbs"},
+		{Path: mod + "/internal/core", Recv: "Predictor", Name: "DiskAccessesSweep"},
+		{Path: mod + "/internal/sim", Name: "RunParallel"},
 	}
 }

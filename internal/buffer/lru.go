@@ -48,13 +48,13 @@ func NewLRU(capacity, numPages int) *LRU {
 	if numPages < 0 {
 		panic(fmt.Sprintf("buffer: negative page count %d", numPages))
 	}
-	l := &LRU{
+	l := &LRU{ //lint:allow hotalloc constructor: one-time setup of a hot type
 		capacity: capacity,
 		numPages: numPages,
-		prev:     make([]int32, numPages),
-		next:     make([]int32, numPages),
-		resident: make([]bool, numPages),
-		pinned:   make([]bool, numPages),
+		prev:     make([]int32, numPages), //lint:allow hotalloc constructor: one-time setup of a hot type
+		next:     make([]int32, numPages), //lint:allow hotalloc constructor: one-time setup of a hot type
+		resident: make([]bool, numPages),  //lint:allow hotalloc constructor: one-time setup of a hot type
+		pinned:   make([]bool, numPages),  //lint:allow hotalloc constructor: one-time setup of a hot type
 		head:     sentinel,
 		tail:     sentinel,
 	}

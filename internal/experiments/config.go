@@ -24,6 +24,13 @@ type Config struct {
 	// (paper: 20 x 1,000,000). Zero selects 20 x 50,000 (Quick: 10 x 5,000).
 	SimBatches   int
 	SimBatchSize int
+
+	// cache deduplicates dataset generation and tree packing across
+	// experiments; set by RunAll, nil (build fresh) for direct Run calls.
+	cache *buildCache
+	// workers is the engine's worker budget, used by forEachPoint to run
+	// independent sweep points concurrently; zero/one means serial.
+	workers int
 }
 
 func (c Config) seed() uint64 {
@@ -64,14 +71,97 @@ func (c Config) scale(n int) int {
 	return n
 }
 
+// tigerKey is the cache identity of the TIGER-like data set.
+func (c Config) tigerKey() dataKey {
+	return dataKey{kind: "tiger", n: c.scale(datagen.TIGERLikeSize), seed: c.seed()}
+}
+
 // tigerRects returns the TIGER-like data set at the paper's size.
 func (c Config) tigerRects() []geom.Rect {
-	return datagen.TIGERLike(c.scale(datagen.TIGERLikeSize), c.seed())
+	k := c.tigerKey()
+	v, _ := c.cache.get(k, func() (any, error) {
+		return datagen.TIGERLike(k.n, k.seed), nil
+	})
+	return v.([]geom.Rect)
+}
+
+// cfdKey is the cache identity of the CFD-like data set.
+func (c Config) cfdKey() dataKey {
+	return dataKey{kind: "cfd", n: c.scale(datagen.CFDLikeSize), seed: c.seed()}
 }
 
 // cfdPoints returns the CFD-like data set at the paper's size.
 func (c Config) cfdPoints() []geom.Point {
-	return datagen.CFDLike(c.scale(datagen.CFDLikeSize), c.seed())
+	k := c.cfdKey()
+	v, _ := c.cache.get(k, func() (any, error) {
+		return datagen.CFDLike(k.n, k.seed), nil
+	})
+	return v.([]geom.Point)
+}
+
+// synthPoints returns (and caches) a synthetic point set.
+func (c Config) synthPoints(n int, seed uint64) []geom.Point {
+	k := dataKey{kind: "spoints", n: n, seed: seed}
+	v, _ := c.cache.get(k, func() (any, error) {
+		return datagen.SyntheticPoints(n, seed), nil
+	})
+	return v.([]geom.Point)
+}
+
+// synthRegions returns (and caches) a synthetic region set.
+func (c Config) synthRegions(n int, seed uint64) []geom.Rect {
+	k := dataKey{kind: "sregions", n: n, seed: seed}
+	v, _ := c.cache.get(k, func() (any, error) {
+		return datagen.SyntheticRegions(n, seed), nil
+	})
+	return v.([]geom.Rect)
+}
+
+// cachedTree packs (and caches) a tree over the identified data set.
+// Cached trees are shared across experiments and MUST be treated as
+// read-only; experiments that mutate a tree (page-ID assignment, storage
+// saves) must build a private one with buildTree instead.
+func (c Config) cachedTree(data dataKey, alg pack.Algorithm, capacity int, items func() []rtree.Item) (*rtree.Tree, error) {
+	k := treeKey{data: data, alg: string(alg), capacity: capacity}
+	v, err := c.cache.get(k, func() (any, error) {
+		return buildTree(alg, items(), capacity)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*rtree.Tree), nil
+}
+
+// tigerTree returns the shared read-only tree over the TIGER-like set.
+func (c Config) tigerTree(alg pack.Algorithm, capacity int) (*rtree.Tree, error) {
+	return c.cachedTree(c.tigerKey(), alg, capacity, func() []rtree.Item {
+		return itemsOf(c.tigerRects())
+	})
+}
+
+// cfdTree returns the shared read-only tree over the CFD-like set.
+func (c Config) cfdTree(alg pack.Algorithm, capacity int) (*rtree.Tree, error) {
+	return c.cachedTree(c.cfdKey(), alg, capacity, func() []rtree.Item {
+		return itemsOf(geom.PointRects(c.cfdPoints()))
+	})
+}
+
+// synthPointsTree returns the shared read-only tree over a synthetic
+// point set.
+func (c Config) synthPointsTree(n int, seed uint64, alg pack.Algorithm, capacity int) (*rtree.Tree, error) {
+	k := dataKey{kind: "spoints", n: n, seed: seed}
+	return c.cachedTree(k, alg, capacity, func() []rtree.Item {
+		return datagen.PointItems(c.synthPoints(n, seed))
+	})
+}
+
+// synthRegionsTree returns the shared read-only tree over a synthetic
+// region set.
+func (c Config) synthRegionsTree(n int, seed uint64, alg pack.Algorithm, capacity int) (*rtree.Tree, error) {
+	k := dataKey{kind: "sregions", n: n, seed: seed}
+	return c.cachedTree(k, alg, capacity, func() []rtree.Item {
+		return itemsOf(c.synthRegions(n, seed))
+	})
 }
 
 // buildTree loads items with alg at node capacity cap and validates the

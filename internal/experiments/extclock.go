@@ -5,7 +5,6 @@ import (
 	"math"
 
 	"rtreebuf/internal/buffer"
-	"rtreebuf/internal/datagen"
 	"rtreebuf/internal/pack"
 	"rtreebuf/internal/sim"
 )
@@ -23,9 +22,7 @@ func init() {
 // workload is simulated under both policies and compared with the LRU
 // model's prediction.
 func runExtClock(cfg Config) (*Report, error) {
-	points := datagen.SyntheticPoints(cfg.scale(table1DataSize), cfg.seed())
-	items := datagen.PointItems(points)
-	t, err := buildTree(pack.HilbertSort, items, table1NodeCap)
+	t, err := cfg.synthPointsTree(cfg.scale(table1DataSize), cfg.seed(), pack.HilbertSort, table1NodeCap)
 	if err != nil {
 		return nil, err
 	}

@@ -4,8 +4,8 @@ import (
 	"fmt"
 	"math"
 
-	"rtreebuf/internal/core"
 	"rtreebuf/internal/pack"
+	"rtreebuf/internal/rtree"
 	"rtreebuf/internal/sim"
 )
 
@@ -26,13 +26,23 @@ func init() {
 }
 
 func runExtLoading(cfg Config) (*Report, error) {
-	items := itemsOf(cfg.tigerRects())
 	rep := &Report{ID: "ext-loading", Title: "Loading algorithms beyond the paper's three"}
 
 	algs := pack.Algorithms()
 	cols := []string{"buffer"}
 	for _, a := range algs {
 		cols = append(cols, algoLabel(a))
+	}
+	// The six tree builds dominate this experiment; run them over the
+	// engine's worker budget (cached, so fig6/fig7 share the overlap).
+	trees := make([]*rtree.Tree, len(algs))
+	err := cfg.forEachPoint(len(algs), func(i int) error {
+		var terr error
+		trees[i], terr = cfg.tigerTree(algs[i], fig6NodeCap)
+		return terr
+	})
+	if err != nil {
+		return nil, err
 	}
 	for _, panel := range []struct {
 		name   string
@@ -41,26 +51,23 @@ func runExtLoading(cfg Config) (*Report, error) {
 		{"point queries", 0, 0},
 		{"1% region queries", 0.1, 0.1},
 	} {
-		preds := make([]*core.Predictor, len(algs))
-		for i, alg := range algs {
-			t, err := buildTree(alg, items, fig6NodeCap)
+		sweeps := make([][]float64, len(algs))
+		for i := range algs {
+			p, err := uniformPredictor(trees[i], panel.qx, panel.qy)
 			if err != nil {
 				return nil, err
 			}
-			preds[i], err = uniformPredictor(t, panel.qx, panel.qy)
-			if err != nil {
-				return nil, err
-			}
+			sweeps[i] = p.DiskAccessesSweep(Fig6BufferSizes)
 		}
 		tbl := Table{
 			Name:    "ext-loading " + panel.name,
 			Caption: "Predicted disk accesses per query (node size 100).",
 			Columns: cols,
 		}
-		for _, b := range Fig6BufferSizes {
+		for j, b := range Fig6BufferSizes {
 			row := []string{FInt(b)}
-			for _, p := range preds {
-				row = append(row, F(p.DiskAccesses(b)))
+			for _, s := range sweeps {
+				row = append(row, F(s[j]))
 			}
 			tbl.AddRow(row...)
 		}
@@ -73,8 +80,7 @@ func runExtLoading(cfg Config) (*Report, error) {
 }
 
 func runExtWarmup(cfg Config) (*Report, error) {
-	items := itemsOf(cfg.tigerRects())
-	t, err := buildTree(pack.HilbertSort, items, fig6NodeCap)
+	t, err := cfg.tigerTree(pack.HilbertSort, fig6NodeCap)
 	if err != nil {
 		return nil, err
 	}
@@ -121,8 +127,7 @@ func runExtWarmup(cfg Config) (*Report, error) {
 }
 
 func runExtStaticLRU(cfg Config) (*Report, error) {
-	items := itemsOf(cfg.tigerRects())
-	t, err := buildTree(pack.HilbertSort, items, fig6NodeCap)
+	t, err := cfg.tigerTree(pack.HilbertSort, fig6NodeCap)
 	if err != nil {
 		return nil, err
 	}
@@ -135,8 +140,9 @@ func runExtStaticLRU(cfg Config) (*Report, error) {
 		Caption: "Disk accesses per point query: LRU model vs caching the B hottest nodes statically.",
 		Columns: []string{"buffer", "lru", "static_hot_set", "lru_inefficiency"},
 	}
-	for _, b := range Fig6BufferSizes {
-		tbl.AddRow(FInt(b), F(pred.DiskAccesses(b)),
+	lru := pred.DiskAccessesSweep(Fig6BufferSizes)
+	for i, b := range Fig6BufferSizes {
+		tbl.AddRow(FInt(b), F(lru[i]),
 			F(pred.DiskAccessesStatic(b)), F(pred.LRUInefficiency(b)))
 	}
 	rep := &Report{ID: "ext-staticlru", Title: "How much does LRU leave on the table?"}

@@ -6,7 +6,6 @@ import (
 	"sort"
 
 	"rtreebuf/internal/core"
-	"rtreebuf/internal/datagen"
 	"rtreebuf/internal/hilbert"
 	"rtreebuf/internal/pack"
 	"rtreebuf/internal/sim"
@@ -25,9 +24,8 @@ func init() {
 // correlated* queries (a random walk), where LRU exploits locality the
 // model does not see. Both effects are measured against the simulator.
 func runExtLocality(cfg Config) (*Report, error) {
-	points := datagen.SyntheticPoints(cfg.scale(table1DataSize), cfg.seed())
-	items := datagen.PointItems(points)
-	t, err := buildTree(pack.HilbertSort, items, table1NodeCap)
+	points := cfg.synthPoints(cfg.scale(table1DataSize), cfg.seed())
+	t, err := cfg.synthPointsTree(cfg.scale(table1DataSize), cfg.seed(), pack.HilbertSort, table1NodeCap)
 	if err != nil {
 		return nil, err
 	}

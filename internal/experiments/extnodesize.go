@@ -21,7 +21,6 @@ func init() {
 // fixed, sizes each tree's pages to exactly fit its fanout, and reports
 // where the disk-access sweet spot falls for point and 1% region queries.
 func runExtNodeSize(cfg Config) (*Report, error) {
-	items := itemsOf(cfg.tigerRects())
 	// A budget well below the tree's total size, so the replacement
 	// policy actually matters (quick mode shrinks the data ~8x).
 	budgetBytes := 1 << 19 // 512 KiB
@@ -44,7 +43,7 @@ func runExtNodeSize(cfg Config) (*Report, error) {
 	}
 	var best row
 	for _, fanout := range []int{25, 50, 100, 200, 400} {
-		t, err := buildTree(pack.HilbertSort, items, fanout)
+		t, err := cfg.tigerTree(pack.HilbertSort, fanout)
 		if err != nil {
 			return nil, err
 		}

@@ -5,7 +5,6 @@ import (
 	"math"
 
 	"rtreebuf/internal/core"
-	"rtreebuf/internal/datagen"
 	"rtreebuf/internal/geom"
 	"rtreebuf/internal/pack"
 	"rtreebuf/internal/sim"
@@ -25,9 +24,9 @@ func init() {
 // footprint are flagged rather than asserted: the independence assumption
 // is documented to weaken there (see EXPERIMENTS.md).
 func runExtValidation(cfg Config) (*Report, error) {
-	points := datagen.SyntheticPoints(cfg.scale(table1DataSize), cfg.seed())
-	items := datagen.PointItems(points)
-	t, err := buildTree(pack.HilbertSort, items, table1NodeCap)
+	n := cfg.scale(table1DataSize)
+	points := cfg.synthPoints(n, cfg.seed())
+	t, err := cfg.synthPointsTree(n, cfg.seed(), pack.HilbertSort, table1NodeCap)
 	if err != nil {
 		return nil, err
 	}
@@ -68,25 +67,37 @@ func runExtValidation(cfg Config) (*Report, error) {
 	}
 	worstSafe := 0.0
 	for _, tc := range cases {
-		for _, b := range Table1BufferSizes {
-			res, err := sim.Run(levels, tc.w, sim.Config{
-				BufferSize: b,
+		// One geometry per workload, shared by all buffer sizes; the
+		// independent per-size simulations run over the engine's worker
+		// budget and land in their own slots, so row order is unchanged.
+		g, err := sim.Prepare(levels, tc.w)
+		if err != nil {
+			return nil, err
+		}
+		model := tc.pred.DiskAccessesSweep(Table1BufferSizes)
+		sims := make([]sim.Result, len(Table1BufferSizes))
+		err = cfg.forEachPoint(len(Table1BufferSizes), func(i int) error {
+			var serr error
+			sims[i], serr = sim.RunPrepared(g, tc.w, sim.Config{
+				BufferSize: Table1BufferSizes[i],
 				Batches:    cfg.simBatches(),
 				BatchSize:  cfg.simBatchSize(),
-				Seed:       cfg.seed() + uint64(b),
+				Seed:       cfg.seed() + uint64(Table1BufferSizes[i]),
 			})
-			if err != nil {
-				return nil, err
-			}
-			model := tc.pred.DiskAccesses(b)
-			diff := stats.PercentDiff(res.DiskPerQuery.Mean, model)
+			return serr
+		})
+		if err != nil {
+			return nil, err
+		}
+		for i, b := range Table1BufferSizes {
+			diff := stats.PercentDiff(sims[i].DiskPerQuery.Mean, model[i])
 			regime := "ok"
 			if float64(b) < 2*tc.pred.NodesVisited() {
 				regime = "*"
 			} else if math.Abs(diff) > worstSafe && !math.IsInf(diff, 0) {
 				worstSafe = math.Abs(diff)
 			}
-			tbl.AddRow(tc.name, FInt(b), F(res.DiskPerQuery.Mean), F(model), FPct(diff), regime)
+			tbl.AddRow(tc.name, FInt(b), F(sims[i].DiskPerQuery.Mean), F(model[i]), FPct(diff), regime)
 		}
 	}
 	rep.Tables = append(rep.Tables, tbl)

@@ -2,8 +2,8 @@ package experiments
 
 import (
 	"fmt"
+	"math"
 
-	"rtreebuf/internal/datagen"
 	"rtreebuf/internal/pack"
 )
 
@@ -24,40 +24,52 @@ func runFig10(cfg Config) (*Report, error) {
 
 	rep := &Report{ID: "fig10", Title: "Effect of pinning levels in the buffer (HS, synthetic points)"}
 
-	type row struct {
-		n      int
-		pinned []float64 // by pin level 0..3
+	// One predictor per data size, one pinned sweep per (size, pin level):
+	// each sweep evaluates all three buffer capacities together. cells is
+	// indexed [size][buffer][pin] and filled before the tables are laid
+	// out buffer-major.
+	cells := make([][][]string, len(sizes))
+	for i, n := range sizes {
+		t, err := cfg.synthPointsTree(n, cfg.seed()+uint64(n), pack.HilbertSort, pinningNodeCap)
+		if err != nil {
+			return nil, err
+		}
+		pred, err := uniformPredictor(t, 0, 0)
+		if err != nil {
+			return nil, err
+		}
+		cells[i] = make([][]string, len(Fig10BufferSizes))
+		for j := range cells[i] {
+			cells[i][j] = make([]string, 4)
+		}
+		for pin := 0; pin <= 3; pin++ {
+			if pin >= pred.LevelCount() {
+				for j := range Fig10BufferSizes {
+					cells[i][j][pin] = "-"
+				}
+				continue
+			}
+			vals, err := pred.DiskAccessesPinnedSweep(Fig10BufferSizes, pin)
+			if err != nil {
+				return nil, err
+			}
+			for j := range Fig10BufferSizes {
+				if math.IsNaN(vals[j]) {
+					cells[i][j][pin] = "-" // pinned levels exceed the buffer
+				} else {
+					cells[i][j][pin] = F(vals[j])
+				}
+			}
+		}
 	}
-	for _, b := range Fig10BufferSizes {
+	for j, b := range Fig10BufferSizes {
 		tbl := Table{
 			Name:    fmt.Sprintf("fig10 buffer=%d", b),
 			Caption: "Predicted disk accesses per point query when pinning the top k levels ('-' = levels do not fit).",
 			Columns: []string{"points", "pin0", "pin1", "pin2", "pin3"},
 		}
-		for _, n := range sizes {
-			points := datagen.SyntheticPoints(n, cfg.seed()+uint64(n))
-			t, err := buildTree(pack.HilbertSort, datagen.PointItems(points), pinningNodeCap)
-			if err != nil {
-				return nil, err
-			}
-			pred, err := uniformPredictor(t, 0, 0)
-			if err != nil {
-				return nil, err
-			}
-			cells := []string{FInt(n)}
-			for pin := 0; pin <= 3; pin++ {
-				if pin >= pred.LevelCount() {
-					cells = append(cells, "-")
-					continue
-				}
-				v, err := pred.DiskAccessesPinned(b, pin)
-				if err != nil {
-					cells = append(cells, "-") // pinned levels exceed the buffer
-					continue
-				}
-				cells = append(cells, F(v))
-			}
-			tbl.AddRow(cells...)
+		for i, n := range sizes {
+			tbl.AddRow(append([]string{FInt(n)}, cells[i][j]...)...)
 		}
 		rep.Tables = append(rep.Tables, tbl)
 	}

@@ -2,8 +2,8 @@ package experiments
 
 import (
 	"fmt"
+	"math"
 
-	"rtreebuf/internal/datagen"
 	"rtreebuf/internal/pack"
 )
 
@@ -25,9 +25,9 @@ func runFig11(cfg Config) (*Report, error) {
 	rep := &Report{ID: "fig11", Title: "When does pinning pay off?"}
 
 	// Left panel: Long Beach data, HS tree with 25 entries per node,
-	// uniform point queries, pinning 0..3 levels across buffer sizes.
-	items := itemsOf(cfg.tigerRects())
-	t, err := buildTree(pack.HilbertSort, items, pinningNodeCap)
+	// uniform point queries, pinning 0..3 levels across buffer sizes —
+	// one pinned sweep per pin level.
+	t, err := cfg.tigerTree(pack.HilbertSort, pinningNodeCap)
 	if err != nil {
 		return nil, err
 	}
@@ -35,24 +35,28 @@ func runFig11(cfg Config) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	sweeps := make([][]float64, 4)
+	for pin := 0; pin <= 3; pin++ {
+		if pin >= pred.LevelCount() {
+			continue
+		}
+		if sweeps[pin], err = pred.DiskAccessesPinnedSweep(Fig11BufferSizes, pin); err != nil {
+			return nil, err
+		}
+	}
 	left := Table{
 		Name:    "fig11 left: disk accesses vs buffer size",
 		Caption: "Long Beach data, HS, node size 25, point queries ('-' = pinned levels exceed the buffer).",
 		Columns: []string{"buffer", "pin0", "pin1", "pin2", "pin3"},
 	}
-	for _, b := range Fig11BufferSizes {
+	for i, b := range Fig11BufferSizes {
 		cells := []string{FInt(b)}
 		for pin := 0; pin <= 3; pin++ {
-			if pin >= pred.LevelCount() {
+			if sweeps[pin] == nil || math.IsNaN(sweeps[pin][i]) {
 				cells = append(cells, "-")
 				continue
 			}
-			v, err := pred.DiskAccessesPinned(b, pin)
-			if err != nil {
-				cells = append(cells, "-")
-				continue
-			}
-			cells = append(cells, F(v))
+			cells = append(cells, F(sweeps[pin][i]))
 		}
 		left.AddRow(cells...)
 	}
@@ -69,8 +73,7 @@ func runFig11(cfg Config) (*Report, error) {
 	if cfg.Quick {
 		n = 40000
 	}
-	points := datagen.SyntheticPoints(n, cfg.seed()+uint64(n))
-	tp, err := buildTree(pack.HilbertSort, datagen.PointItems(points), pinningNodeCap)
+	tp, err := cfg.synthPointsTree(n, cfg.seed()+uint64(n), pack.HilbertSort, pinningNodeCap)
 	if err != nil {
 		return nil, err
 	}

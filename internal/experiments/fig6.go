@@ -3,7 +3,6 @@ package experiments
 import (
 	"fmt"
 
-	"rtreebuf/internal/core"
 	"rtreebuf/internal/pack"
 )
 
@@ -23,14 +22,13 @@ const fig6NodeCap = 100
 const fig6RegionSide = 0.1
 
 func runFig6(cfg Config) (*Report, error) {
-	rects := cfg.tigerRects()
-	items := itemsOf(rects)
-
 	rep := &Report{ID: "fig6", Title: "Sensitivity to buffer size, Long Beach data"}
 
-	preds := map[pack.Algorithm][2]*core.Predictor{} // [point, region]
+	// One buffer sweep per (algorithm, panel): each evaluates the analytic
+	// model at all of Fig6BufferSizes in a single warm-started pass.
+	sweeps := map[pack.Algorithm][2][]float64{} // [point, region]
 	for _, alg := range paperAlgorithms() {
-		t, err := buildTree(alg, items, fig6NodeCap)
+		t, err := cfg.tigerTree(alg, fig6NodeCap)
 		if err != nil {
 			return nil, err
 		}
@@ -42,7 +40,10 @@ func runFig6(cfg Config) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		preds[alg] = [2]*core.Predictor{pp, pr}
+		sweeps[alg] = [2][]float64{
+			pp.DiskAccessesSweep(Fig6BufferSizes),
+			pr.DiskAccessesSweep(Fig6BufferSizes),
+		}
 	}
 
 	for panel, name := range []string{"point queries", "1% region queries"} {
@@ -51,11 +52,11 @@ func runFig6(cfg Config) (*Report, error) {
 			Caption: "Predicted disk accesses per query vs buffer size.",
 			Columns: []string{"buffer", "TAT", "NX", "HS"},
 		}
-		for _, b := range Fig6BufferSizes {
+		for i, b := range Fig6BufferSizes {
 			tbl.AddRow(FInt(b),
-				F(preds[pack.TATQuadratic][panel].DiskAccesses(b)),
-				F(preds[pack.NearestX][panel].DiskAccesses(b)),
-				F(preds[pack.HilbertSort][panel].DiskAccesses(b)))
+				F(sweeps[pack.TATQuadratic][panel][i]),
+				F(sweeps[pack.NearestX][panel][i]),
+				F(sweeps[pack.HilbertSort][panel][i]))
 		}
 		rep.Tables = append(rep.Tables, tbl)
 	}
@@ -64,10 +65,8 @@ func runFig6(cfg Config) (*Report, error) {
 	// NX at small buffers and NX overtakes as the buffer grows. Report
 	// where (and whether) the crossover lands for this data.
 	cross := -1
-	for _, b := range Fig6BufferSizes {
-		tat := preds[pack.TATQuadratic][1].DiskAccesses(b)
-		nx := preds[pack.NearestX][1].DiskAccesses(b)
-		if nx <= tat {
+	for i, b := range Fig6BufferSizes {
+		if sweeps[pack.NearestX][1][i] <= sweeps[pack.TATQuadratic][1][i] {
 			cross = b
 			break
 		}

@@ -3,23 +3,29 @@ package experiments
 import (
 	"fmt"
 
-	"rtreebuf/internal/core"
 	"rtreebuf/internal/geom"
 	"rtreebuf/internal/pack"
+	"rtreebuf/internal/rtree"
 )
 
 func init() {
 	register("fig7",
 		"Fig. 7: uniform vs data-driven point queries, Long Beach data (left: disk accesses; right: improvement with buffer size)",
 		func(cfg Config) (*Report, error) {
-			rects := cfg.tigerRects()
-			return runUniformVsDataDriven(cfg, "fig7", "Long Beach data", rects, geom.Centers(rects))
+			t, err := cfg.tigerTree(pack.HilbertSort, fig7NodeCap)
+			if err != nil {
+				return nil, err
+			}
+			return runUniformVsDataDriven(t, "fig7", "Long Beach data", geom.Centers(cfg.tigerRects()))
 		})
 	register("fig8",
 		"Fig. 8: uniform vs data-driven point queries, CFD data (left: disk accesses; right: improvement with buffer size)",
 		func(cfg Config) (*Report, error) {
-			points := cfg.cfdPoints()
-			return runUniformVsDataDriven(cfg, "fig8", "CFD data", geom.PointRects(points), points)
+			t, err := cfg.cfdTree(pack.HilbertSort, fig7NodeCap)
+			if err != nil {
+				return nil, err
+			}
+			return runUniformVsDataDriven(t, "fig8", "CFD data", cfg.cfdPoints())
 		})
 }
 
@@ -32,12 +38,7 @@ const fig7NodeCap = 100
 // runUniformVsDataDriven reproduces the two-panel comparison of Figs. 7
 // and 8: HS-packed tree, uniform point queries vs data-driven point
 // queries, disk accesses and speedup-vs-buffer-10 across buffer sizes.
-func runUniformVsDataDriven(cfg Config, id, dataName string, rects []geom.Rect, centers []geom.Point) (*Report, error) {
-	items := itemsOf(rects)
-	t, err := buildTree(pack.HilbertSort, items, fig7NodeCap)
-	if err != nil {
-		return nil, err
-	}
+func runUniformVsDataDriven(t *rtree.Tree, id, dataName string, centers []geom.Point) (*Report, error) {
 	uni, err := uniformPredictor(t, 0, 0)
 	if err != nil {
 		return nil, err
@@ -46,6 +47,8 @@ func runUniformVsDataDriven(cfg Config, id, dataName string, rects []geom.Rect, 
 	if err != nil {
 		return nil, err
 	}
+	uniSweep := uni.DiskAccessesSweep(Fig7BufferSizes)
+	ddSweep := dd.DiskAccessesSweep(Fig7BufferSizes)
 
 	rep := &Report{ID: id, Title: "Uniform vs data-driven queries, " + dataName}
 
@@ -54,24 +57,21 @@ func runUniformVsDataDriven(cfg Config, id, dataName string, rects []geom.Rect, 
 		Caption: "Predicted disk accesses per point query vs buffer size (HS tree, node size 100).",
 		Columns: []string{"buffer", "uniform", "data_driven"},
 	}
-	base := map[*core.Predictor]float64{
-		uni: uni.DiskAccesses(Fig7BufferSizes[0]),
-		dd:  dd.DiskAccesses(Fig7BufferSizes[0]),
-	}
+	uniBase, ddBase := uniSweep[0], ddSweep[0]
 	right := Table{
 		Name:    id + " improvement",
 		Caption: "Speedup from buffer growth: (disk accesses at buffer 10) / (disk accesses at buffer N).",
 		Columns: []string{"buffer", "uniform", "data_driven"},
 	}
-	for _, b := range Fig7BufferSizes {
-		u, d := uni.DiskAccesses(b), dd.DiskAccesses(b)
+	for i, b := range Fig7BufferSizes {
+		u, d := uniSweep[i], ddSweep[i]
 		left.AddRow(FInt(b), F(u), F(d))
-		right.AddRow(FInt(b), F(ratioOrInf(base[uni], u)), F(ratioOrInf(base[dd], d)))
+		right.AddRow(FInt(b), F(ratioOrInf(uniBase, u)), F(ratioOrInf(ddBase, d)))
 	}
 	rep.Tables = append(rep.Tables, left, right)
 
-	uMax := ratioOrInf(base[uni], uni.DiskAccesses(Fig7BufferSizes[len(Fig7BufferSizes)-1]))
-	dMax := ratioOrInf(base[dd], dd.DiskAccesses(Fig7BufferSizes[len(Fig7BufferSizes)-1]))
+	uMax := ratioOrInf(uniBase, uniSweep[len(Fig7BufferSizes)-1])
+	dMax := ratioOrInf(ddBase, ddSweep[len(Fig7BufferSizes)-1])
 	rep.Notes = append(rep.Notes, fmt.Sprintf(
 		"buffer growth 10->%d speeds up uniform queries %.2fx vs %.2fx for data-driven — skewed data gives uniform queries hot nodes to cache (paper, Long Beach: 3.91x vs 2.86x)",
 		Fig7BufferSizes[len(Fig7BufferSizes)-1], uMax, dMax))

@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"rtreebuf/internal/core"
-	"rtreebuf/internal/datagen"
 	"rtreebuf/internal/pack"
 )
 
@@ -46,14 +45,16 @@ func runFig9(cfg Config) (*Report, error) {
 		Columns: []string{"rects", "NX", "HS"},
 	}
 
-	type pair struct{ nx, hs *core.Predictor }
+	sweepBufs := []int{smallBuf, largeBuf}
+	type pair struct {
+		nx, hs           *core.Predictor
+		nxSweep, hsSweep []float64
+	}
 	var first, last pair
 	for i, n := range sizes {
-		rects := datagen.SyntheticRegions(n, cfg.seed()+uint64(n))
-		items := itemsOf(rects)
 		var preds pair
 		for _, alg := range []pack.Algorithm{pack.NearestX, pack.HilbertSort} {
-			t, err := buildTree(alg, items, fig9NodeCap)
+			t, err := cfg.synthRegionsTree(n, cfg.seed()+uint64(n), alg, fig9NodeCap)
 			if err != nil {
 				return nil, err
 			}
@@ -62,14 +63,14 @@ func runFig9(cfg Config) (*Report, error) {
 				return nil, err
 			}
 			if alg == pack.NearestX {
-				preds.nx = p
+				preds.nx, preds.nxSweep = p, p.DiskAccessesSweep(sweepBufs)
 			} else {
-				preds.hs = p
+				preds.hs, preds.hsSweep = p, p.DiskAccessesSweep(sweepBufs)
 			}
 		}
 		noBuf.AddRow(FInt(n), F(preds.nx.NodesVisited()), F(preds.hs.NodesVisited()))
-		buf10.AddRow(FInt(n), F(preds.nx.DiskAccesses(smallBuf)), F(preds.hs.DiskAccesses(smallBuf)))
-		buf300.AddRow(FInt(n), F(preds.nx.DiskAccesses(largeBuf)), F(preds.hs.DiskAccesses(largeBuf)))
+		buf10.AddRow(FInt(n), F(preds.nxSweep[0]), F(preds.hsSweep[0]))
+		buf300.AddRow(FInt(n), F(preds.nxSweep[1]), F(preds.hsSweep[1]))
 		if i == 0 {
 			first = preds
 		}
@@ -81,7 +82,7 @@ func runFig9(cfg Config) (*Report, error) {
 	// (misleading a query optimizer), while disk accesses at a fixed
 	// buffer clearly grow.
 	growNodes := last.hs.NodesVisited() / first.hs.NodesVisited()
-	growDisk := last.hs.DiskAccesses(largeBuf) / nonzero(first.hs.DiskAccesses(largeBuf))
+	growDisk := last.hsSweep[1] / nonzero(first.hsSweep[1])
 	rep.Notes = append(rep.Notes, fmt.Sprintf(
 		"HS, smallest->largest data set: nodes-visited metric grows %.2fx while disk accesses at buffer %d grow %.2fx — ignoring the buffer hides the cost of larger trees",
 		growNodes, largeBuf, growDisk))

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math"
 
-	"rtreebuf/internal/datagen"
 	"rtreebuf/internal/sim"
 	"rtreebuf/internal/stats"
 )
@@ -27,9 +26,6 @@ const (
 )
 
 func runTable1(cfg Config) (*Report, error) {
-	points := datagen.SyntheticPoints(cfg.scale(table1DataSize), cfg.seed())
-	items := datagen.PointItems(points)
-
 	rep := &Report{ID: "table1", Title: "Model validation against LRU simulation (uniform point queries)"}
 	tbl := Table{
 		Name:    "table1",
@@ -39,32 +35,43 @@ func runTable1(cfg Config) (*Report, error) {
 
 	worst := 0.0
 	for _, alg := range paperAlgorithms() {
-		t, err := buildTree(alg, items, table1NodeCap)
+		t, err := cfg.synthPointsTree(cfg.scale(table1DataSize), cfg.seed(), alg, table1NodeCap)
 		if err != nil {
 			return nil, err
 		}
-		levels := t.Levels()
 		pred, err := uniformPredictor(t, 0, 0)
 		if err != nil {
 			return nil, err
 		}
-		for _, b := range Table1BufferSizes {
-			res, err := sim.Run(levels, sim.UniformPoints{}, sim.Config{
-				BufferSize: b,
+		// One geometry per tree, shared read-only by all buffer sizes; the
+		// per-size simulations are independent (each seeds its own stream)
+		// and run over the engine's worker budget.
+		g, err := sim.Prepare(t.Levels(), sim.UniformPoints{})
+		if err != nil {
+			return nil, err
+		}
+		model := pred.DiskAccessesSweep(Table1BufferSizes)
+		sims := make([]sim.Result, len(Table1BufferSizes))
+		err = cfg.forEachPoint(len(Table1BufferSizes), func(i int) error {
+			var serr error
+			sims[i], serr = sim.RunPrepared(g, sim.UniformPoints{}, sim.Config{
+				BufferSize: Table1BufferSizes[i],
 				Batches:    cfg.simBatches(),
 				BatchSize:  cfg.simBatchSize(),
-				Seed:       cfg.seed() + uint64(b),
+				Seed:       cfg.seed() + uint64(Table1BufferSizes[i]),
 			})
-			if err != nil {
-				return nil, err
-			}
-			model := pred.DiskAccesses(b)
-			diff := stats.PercentDiff(res.DiskPerQuery.Mean, model)
+			return serr
+		})
+		if err != nil {
+			return nil, err
+		}
+		for i, b := range Table1BufferSizes {
+			diff := stats.PercentDiff(sims[i].DiskPerQuery.Mean, model[i])
 			if math.Abs(diff) > worst {
 				worst = math.Abs(diff)
 			}
 			tbl.AddRow(algoLabel(alg), FInt(pred.NodeCount()), FInt(b),
-				F(res.DiskPerQuery.Mean), F(res.DiskPerQuery.HalfWidth), F(model), FPct(diff))
+				F(sims[i].DiskPerQuery.Mean), F(sims[i].DiskPerQuery.HalfWidth), F(model[i]), FPct(diff))
 		}
 	}
 	rep.Tables = append(rep.Tables, tbl)

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"strings"
 
-	"rtreebuf/internal/datagen"
 	"rtreebuf/internal/pack"
 )
 
@@ -33,8 +32,7 @@ func runTable2(cfg Config) (*Report, error) {
 		Columns: []string{"points", "levels", "nodes_per_level(root..leaf)", "total"},
 	}
 	for _, n := range sizes {
-		points := datagen.SyntheticPoints(n, cfg.seed()+uint64(n))
-		t, err := buildTree(pack.HilbertSort, datagen.PointItems(points), pinningNodeCap)
+		t, err := cfg.synthPointsTree(n, cfg.seed()+uint64(n), pack.HilbertSort, pinningNodeCap)
 		if err != nil {
 			return nil, err
 		}

@@ -31,7 +31,7 @@ func newPointIndex(hitRects []geom.Rect) *pointIndex {
 	if res > 512 {
 		res = 512
 	}
-	idx := &pointIndex{bounds: geom.MBR(hitRects), res: res}
+	idx := &pointIndex{bounds: geom.MBR(hitRects), res: res} //lint:allow hotalloc one-time index construction per geometry
 	w, h := idx.bounds.Width(), idx.bounds.Height()
 	if w <= 0 {
 		w = 1
@@ -41,18 +41,18 @@ func newPointIndex(hitRects []geom.Rect) *pointIndex {
 	}
 	idx.invX = float64(res) / w
 	idx.invY = float64(res) / h
-	idx.cells = make([][]int32, res*res)
+	idx.cells = make([][]int32, res*res) //lint:allow hotalloc one-time index construction per geometry
 	for page, r := range hitRects {
 		x0, y0 := idx.cellOf(geom.Point{X: r.MinX, Y: r.MinY})
 		x1, y1 := idx.cellOf(geom.Point{X: r.MaxX, Y: r.MaxY})
 		for iy := y0; iy <= y1; iy++ {
 			for ix := x0; ix <= x1; ix++ {
-				idx.cells[iy*res+ix] = append(idx.cells[iy*res+ix], int32(page))
+				idx.cells[iy*res+ix] = append(idx.cells[iy*res+ix], int32(page)) //lint:allow hotalloc one-time index construction per geometry
 			}
 		}
 	}
 	for _, cell := range idx.cells {
-		sort.Slice(cell, func(a, b int) bool { return cell[a] < cell[b] })
+		sort.Slice(cell, func(a, b int) bool { return cell[a] < cell[b] }) //lint:allow hotalloc one-time index construction per geometry
 	}
 	return idx
 }
@@ -83,5 +83,5 @@ func (idx *pointIndex) candidates(p geom.Point, dst []int32) []int32 {
 		return dst
 	}
 	ix, iy := idx.cellOf(p)
-	return append(dst, idx.cells[iy*idx.res+ix]...)
+	return append(dst, idx.cells[iy*idx.res+ix]...) //lint:allow hotalloc dst grows once per run, then is reused
 }

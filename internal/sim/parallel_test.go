@@ -1,0 +1,165 @@
+package sim
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"rtreebuf/internal/geom"
+)
+
+// Workers == 1 must reproduce the serial reference bit for bit: same
+// stream, same buffer trajectory, same batch means, same intervals.
+func TestRunParallelOneWorkerIsRun(t *testing.T) {
+	levels, _ := fixtureLevels(t, 3000, 25)
+	for _, cfg := range []Config{
+		{BufferSize: 20, Batches: 4, BatchSize: 2000, Seed: 99, Workers: 1},
+		{BufferSize: 50, Batches: 6, BatchSize: 1500, Seed: 7, Workers: 1, PinLevels: 1},
+		{BufferSize: 10, Batches: 3, BatchSize: 1000, Seed: 3, Workers: 1, BruteForce: true},
+	} {
+		serial, err := Run(levels, UniformPoints{}, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := RunParallel(levels, UniformPoints{}, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(serial, par) {
+			t.Errorf("Workers=1 differs from Run:\nserial %+v\nparallel %+v", serial, par)
+		}
+	}
+}
+
+// A parallel run must be deterministic: same (seed, workers) twice gives
+// identical results regardless of goroutine scheduling.
+func TestRunParallelDeterministic(t *testing.T) {
+	levels, _ := fixtureLevels(t, 3000, 25)
+	cfg := Config{BufferSize: 25, Batches: 8, BatchSize: 2000, Seed: 42, Workers: 4}
+	a, err := RunParallel(levels, UniformPoints{}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunParallel(levels, UniformPoints{}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("same seed and worker count differ:\n%+v\n%+v", a, b)
+	}
+}
+
+// Parallel and serial estimates are different samples of the same
+// steady-state quantity; they must agree within the union of their
+// confidence intervals (generously widened against rare tail draws).
+func TestRunParallelAgreesWithSerial(t *testing.T) {
+	levels, _ := fixtureLevels(t, 4000, 25)
+	w := mustRegions(t, 0.05, 0.05)
+	cfg := Config{BufferSize: 30, Batches: 12, BatchSize: 4000, Seed: 1998}
+
+	serial, err := Run(levels, w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 3, 4} {
+		cfg.Workers = workers
+		par, err := RunParallel(levels, w, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slack := 3 * (serial.DiskPerQuery.HalfWidth + par.DiskPerQuery.HalfWidth)
+		if d := math.Abs(serial.DiskPerQuery.Mean - par.DiskPerQuery.Mean); d > slack {
+			t.Errorf("workers=%d: disk/query serial %.4f vs parallel %.4f (|Δ|=%.4f > %.4f)",
+				workers, serial.DiskPerQuery.Mean, par.DiskPerQuery.Mean, d, slack)
+		}
+		slack = 3 * (serial.NodesPerQuery.HalfWidth + par.NodesPerQuery.HalfWidth)
+		if d := math.Abs(serial.NodesPerQuery.Mean - par.NodesPerQuery.Mean); d > slack {
+			t.Errorf("workers=%d: nodes/query serial %.4f vs parallel %.4f (|Δ|=%.4f > %.4f)",
+				workers, serial.NodesPerQuery.Mean, par.NodesPerQuery.Mean, d, slack)
+		}
+		if math.Abs(serial.HitRatio-par.HitRatio) > 0.05 {
+			t.Errorf("workers=%d: hit ratio serial %.4f vs parallel %.4f",
+				workers, serial.HitRatio, par.HitRatio)
+		}
+		if par.Queries != cfg.Batches*cfg.BatchSize {
+			t.Errorf("workers=%d: Queries = %d, want %d", workers, par.Queries, cfg.Batches*cfg.BatchSize)
+		}
+	}
+}
+
+// The worker count is capped at the batch count so every replica
+// measures at least one batch; Workers=0 selects NumCPU without error.
+func TestRunParallelWorkerClamping(t *testing.T) {
+	levels, _ := fixtureLevels(t, 2000, 25)
+	cfg := Config{BufferSize: 20, Batches: 2, BatchSize: 1000, Seed: 5, Workers: 16}
+	res, err := RunParallel(levels, UniformPoints{}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Queries != 2*1000 {
+		t.Errorf("Queries = %d", res.Queries)
+	}
+	cfg.Workers = 0
+	if _, err := RunParallel(levels, UniformPoints{}, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunParallel(levels, UniformPoints{}, Config{BufferSize: 0}); err == nil {
+		t.Error("zero buffer accepted")
+	}
+	if _, err := RunParallel([][]geom.Rect{{}}, UniformPoints{}, Config{BufferSize: 5}); err == nil {
+		t.Error("empty geometry accepted")
+	}
+}
+
+// Prepare once, run many: RunPrepared over a shared geometry must equal
+// Run for every buffer size, serially and in parallel.
+func TestPreparedReuseMatchesRun(t *testing.T) {
+	levels, _ := fixtureLevels(t, 3000, 25)
+	w := mustRegions(t, 0.1, 0.1)
+	g, err := Prepare(levels, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range []int{5, 20, 80} {
+		cfg := Config{BufferSize: b, Batches: 4, BatchSize: 1500, Seed: 11}
+		want, err := Run(levels, w, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := RunPrepared(g, w, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("buffer %d: RunPrepared differs from Run", b)
+		}
+		cfg.Workers = 3
+		pp, err := RunPreparedParallel(g, w, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pw, err := RunParallel(levels, w, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(pw, pp) {
+			t.Errorf("buffer %d: RunPreparedParallel differs from RunParallel", b)
+		}
+	}
+}
+
+// Replica streams must actually be distinct: two replicas drawing from
+// the same stream would correlate batches and silently narrow intervals.
+func TestReplicaStreamsDisjoint(t *testing.T) {
+	a := replicaStream(99, 0)
+	b := replicaStream(99, 1)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Float64() == b.Float64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("replica streams collide on %d/64 draws", same)
+	}
+}

@@ -145,6 +145,10 @@ type Config struct {
 	// paper models. buffer.NewClock tests whether the predictions
 	// transfer to CLOCK-managed buffers (experiment ext-clock).
 	Policy func(capacity, numPages int) buffer.Policy
+	// Workers is the replica count RunParallel spreads the batch budget
+	// over; Run ignores it. Zero selects runtime.NumCPU; 1 makes
+	// RunParallel identical to Run.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -186,60 +190,111 @@ type Result struct {
 	Queries int
 }
 
-// Run simulates the workload against the tree geometry (levels of node
-// MBRs, root first) and returns steady-state measurements.
-func Run(levels [][]geom.Rect, w Workload, cfg Config) (Result, error) {
-	cfg = cfg.withDefaults()
-	if cfg.BufferSize < 1 {
-		return Result{}, fmt.Errorf("sim: buffer size %d < 1", cfg.BufferSize)
-	}
+// Geometry is the flattened, indexed form of one tree geometry under one
+// workload: per-node hit rectangles in page-ID order (matching
+// rtree.AssignPageIDs) plus the grid point index. Building it is the
+// per-run setup cost of Run; when the same levels are swept across many
+// buffer sizes, Prepare once and call RunPrepared per size instead.
+// A Geometry is read-only after Prepare and safe to share across
+// concurrent simulations.
+type Geometry struct {
+	hitRects []geom.Rect
+	levelOf  []int
+	idx      *pointIndex
+}
 
-	// Flatten in level order: page IDs match rtree.AssignPageIDs.
-	var hitRects []geom.Rect
-	levelOf := make([]int, 0)
+// Prepare flattens the tree geometry (levels of node MBRs, root first)
+// under the workload and builds the candidate index.
+func Prepare(levels [][]geom.Rect, w Workload) (*Geometry, error) {
+	return prepare(levels, w, true)
+}
+
+func prepare(levels [][]geom.Rect, w Workload, buildIndex bool) (*Geometry, error) {
+	total := 0
+	for _, rects := range levels {
+		total += len(rects)
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("sim: empty tree geometry")
+	}
+	// Flatten in level order: page IDs match rtree.AssignPageIDs. Sizes
+	// are known up front, so both slices are allocated exactly once.
+	g := &Geometry{ //lint:allow hotalloc one-time geometry setup, reused across runs
+		hitRects: make([]geom.Rect, 0, total), //lint:allow hotalloc one-time geometry setup, reused across runs
+		levelOf:  make([]int, 0, total),       //lint:allow hotalloc one-time geometry setup, reused across runs
+	}
 	for lvl, rects := range levels {
 		for _, r := range rects {
-			hitRects = append(hitRects, w.HitRect(r))
-			levelOf = append(levelOf, lvl)
+			g.hitRects = append(g.hitRects, w.HitRect(r)) //lint:allow hotalloc appends into capacity preallocated above
+			g.levelOf = append(g.levelOf, lvl)            //lint:allow hotalloc appends into capacity preallocated above
 		}
 	}
-	m := len(hitRects)
-	if m == 0 {
-		return Result{}, fmt.Errorf("sim: empty tree geometry")
+	if buildIndex {
+		g.idx = newPointIndex(g.hitRects)
 	}
+	return g, nil
+}
 
-	var idx *pointIndex
-	if !cfg.BruteForce {
-		idx = newPointIndex(hitRects)
-	}
+// replicaStream returns the deterministic PCG stream of one replica.
+// Replica 0 is exactly the stream Run uses, so a one-replica parallel
+// run reproduces the serial reference bit for bit; higher replicas get
+// disjoint streams derived from (Seed, replica).
+func replicaStream(seed uint64, replica int) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, (seed^0x9e3779b97f4a7c15)+uint64(replica))) //lint:allow hotalloc one RNG per replica
+}
 
+// newPolicy builds the replica-private replacement policy with the top
+// PinLevels levels pinned.
+func (c Config) newPolicy(g *Geometry) (buffer.Policy, error) {
+	m := len(g.hitRects)
 	var lru buffer.Policy
-	if cfg.Policy != nil {
-		lru = cfg.Policy(cfg.BufferSize, m)
+	if c.Policy != nil {
+		lru = c.Policy(c.BufferSize, m)
 	} else {
-		lru = buffer.NewLRU(cfg.BufferSize, m)
+		lru = buffer.NewLRU(c.BufferSize, m)
 	}
-	if cfg.PinLevels > 0 {
+	if c.PinLevels > 0 {
 		for page := 0; page < m; page++ {
-			if levelOf[page] < cfg.PinLevels {
+			if g.levelOf[page] < c.PinLevels {
 				if err := lru.Pin(page); err != nil {
-					return Result{}, fmt.Errorf("sim: pinning %d levels: %w", cfg.PinLevels, err)
+					return nil, fmt.Errorf("sim: pinning %d levels: %w", c.PinLevels, err)
 				}
 			}
 		}
 	}
+	return lru, nil
+}
 
-	rng := rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0x9e3779b97f4a7c15))
+// replicaResult is one replica's contribution to a run: its batch means,
+// raw measured totals, and warm-up observations.
+type replicaResult struct {
+	diskBatch []float64
+	nodeBatch []float64
+	disk      int // total misses during measurement
+	nodes     int // total accesses during measurement
+	fill      int // empirical N* observed during warm-up (0 = never filled)
+	hitRatio  float64
+}
 
-	res := Result{}
+// runReplica executes warm-up plus the given number of batches against a
+// replica-private buffer, drawing queries from the replica's own stream.
+func runReplica(g *Geometry, w Workload, cfg Config, replica, batches int) (replicaResult, error) {
+	lru, err := cfg.newPolicy(g)
+	if err != nil {
+		return replicaResult{}, err
+	}
+	rng := replicaStream(cfg.Seed, replica)
+	useIdx := g.idx != nil && !cfg.BruteForce
+	m := len(g.hitRects)
+
 	// Candidate scratch reused across queries.
 	var scratch []int32
-	runQuery := func() (accesses, misses int) {
+	runQuery := func() (accesses, misses int) { //lint:allow hotalloc one query closure per replica
 		p := w.Next(rng)
-		if idx != nil {
-			scratch = idx.candidates(p, scratch[:0])
+		if useIdx {
+			scratch = g.idx.candidates(p, scratch[:0]) //lint:allow hotalloc scratch grows once, then is reused
 			for _, page := range scratch {
-				if hitRects[page].ContainsPoint(p) {
+				if g.hitRects[page].ContainsPoint(p) {
 					accesses++
 					if !lru.Access(int(page)) {
 						misses++
@@ -249,7 +304,7 @@ func Run(levels [][]geom.Rect, w Workload, cfg Config) (Result, error) {
 			return accesses, misses
 		}
 		for page := 0; page < m; page++ {
-			if hitRects[page].ContainsPoint(p) {
+			if g.hitRects[page].ContainsPoint(p) {
 				accesses++
 				if !lru.Access(page) {
 					misses++
@@ -259,30 +314,68 @@ func Run(levels [][]geom.Rect, w Workload, cfg Config) (Result, error) {
 		return accesses, misses
 	}
 
+	rr := replicaResult{
+		diskBatch: make([]float64, batches), //lint:allow hotalloc per-replica batch accumulators
+		nodeBatch: make([]float64, batches), //lint:allow hotalloc per-replica batch accumulators
+	}
 	for q := 1; q <= cfg.Warmup; q++ {
 		runQuery()
-		if res.FillQueries == 0 && lru.Full() {
-			res.FillQueries = q
+		if rr.fill == 0 && lru.Full() {
+			rr.fill = q
 		}
 	}
 	lru.ResetStats()
 
-	diskBatch := make([]float64, cfg.Batches)
-	nodeBatch := make([]float64, cfg.Batches)
-	for b := 0; b < cfg.Batches; b++ {
+	for b := 0; b < batches; b++ {
 		var disk, nodes int
 		for i := 0; i < cfg.BatchSize; i++ {
 			a, m := runQuery()
 			nodes += a
 			disk += m
 		}
-		diskBatch[b] = float64(disk) / float64(cfg.BatchSize)
-		nodeBatch[b] = float64(nodes) / float64(cfg.BatchSize)
+		rr.diskBatch[b] = float64(disk) / float64(cfg.BatchSize)
+		rr.nodeBatch[b] = float64(nodes) / float64(cfg.BatchSize)
+		rr.disk += disk
+		rr.nodes += nodes
 	}
+	rr.hitRatio = lru.HitRatio()
+	return rr, nil
+}
 
-	res.DiskPerQuery = stats.BatchMeans(diskBatch, cfg.Confidence)
-	res.NodesPerQuery = stats.BatchMeans(nodeBatch, cfg.Confidence)
-	res.HitRatio = lru.HitRatio()
-	res.Queries = cfg.Batches * cfg.BatchSize
-	return res, nil
+// Run simulates the workload against the tree geometry (levels of node
+// MBRs, root first) and returns steady-state measurements. Run is the
+// serial reference implementation; RunParallel reproduces it with the
+// batch budget spread over replicas.
+func Run(levels [][]geom.Rect, w Workload, cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	if cfg.BufferSize < 1 {
+		return Result{}, fmt.Errorf("sim: buffer size %d < 1", cfg.BufferSize)
+	}
+	g, err := prepare(levels, w, !cfg.BruteForce)
+	if err != nil {
+		return Result{}, err
+	}
+	return RunPrepared(g, w, cfg)
+}
+
+// RunPrepared is Run over an already-prepared geometry, sharing the
+// flattening and index cost across runs (e.g. one Prepare per tree, one
+// RunPrepared per buffer size of a sweep). The workload must be the one
+// the geometry was prepared with.
+func RunPrepared(g *Geometry, w Workload, cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	if cfg.BufferSize < 1 {
+		return Result{}, fmt.Errorf("sim: buffer size %d < 1", cfg.BufferSize)
+	}
+	rr, err := runReplica(g, w, cfg, 0, cfg.Batches)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		DiskPerQuery:  stats.BatchMeans(rr.diskBatch, cfg.Confidence),
+		NodesPerQuery: stats.BatchMeans(rr.nodeBatch, cfg.Confidence),
+		HitRatio:      rr.hitRatio,
+		FillQueries:   rr.fill,
+		Queries:       cfg.Batches * cfg.BatchSize,
+	}, nil
 }

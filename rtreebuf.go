@@ -188,6 +188,13 @@ func Simulate(levels [][]Rect, w SimWorkload, cfg SimConfig) (SimResult, error) 
 	return sim.Run(levels, w, cfg)
 }
 
+// SimulateParallel is Simulate with the batch budget split across
+// cfg.Workers independent deterministic replicas (0 = NumCPU).
+// Workers == 1 reproduces Simulate bit for bit.
+func SimulateParallel(levels [][]Rect, w SimWorkload, cfg SimConfig) (SimResult, error) {
+	return sim.RunParallel(levels, w, cfg)
+}
+
 // SimUniformPoints returns the uniform point-query workload.
 func SimUniformPoints() SimWorkload { return sim.UniformPoints{} }
 
