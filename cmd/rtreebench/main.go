@@ -16,6 +16,8 @@
 //	rtreebench -quick            # reduced sizes, ~seconds
 //	rtreebench -parallel 1       # serial reference run
 //	rtreebench -benchjson out.json   # machine-readable timing summary
+//	rtreebench -metrics run.prom     # engine metrics dump (.json/.prom/.txt)
+//	rtreebench -debug-addr :6060     # live /metrics + /debug/pprof
 package main
 
 import (
@@ -23,12 +25,36 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
+	"strings"
+	"syscall"
 	"time"
 
 	"rtreebuf/internal/experiments"
+	"rtreebuf/internal/obs"
 )
+
+// writeMetrics dumps the registry to path, choosing the format by
+// extension: .json → JSON, .prom → Prometheus text exposition, anything
+// else → aligned text table.
+func writeMetrics(path string, reg *obs.Registry) error {
+	var b strings.Builder
+	var err error
+	switch filepath.Ext(path) {
+	case ".json":
+		err = obs.WriteJSON(&b, reg)
+	case ".prom":
+		err = obs.WritePrometheus(&b, reg)
+	default:
+		err = obs.WriteText(&b, reg)
+	}
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, []byte(b.String()), 0o644)
+}
 
 // writeCSVs stores every table of a report as a CSV file in dir,
 // creating it if needed.
@@ -111,6 +137,8 @@ func main() {
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	parallel := flag.Int("parallel", 0, "experiment worker count (0 = NumCPU, 1 = serial)")
 	benchJSON := flag.String("benchjson", "", "write a machine-readable timing summary to this path")
+	metricsPath := flag.String("metrics", "", "write an engine metrics dump to this path (.json/.prom/anything-else=text)")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics and /debug/pprof on this address (keeps the process alive after the run until interrupted)")
 	flag.Parse()
 
 	if *list {
@@ -126,6 +154,18 @@ func main() {
 		Seed:         *seed,
 		SimBatches:   *batches,
 		SimBatchSize: *batchSize,
+	}
+	if *metricsPath != "" || *debugAddr != "" {
+		cfg.Metrics = obs.NewRegistry()
+	}
+	if *debugAddr != "" {
+		ds, err := obs.StartDebugServer(*debugAddr, cfg.Metrics)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rtreebench: %v\n", err)
+			os.Exit(1)
+		}
+		defer ds.Close()
+		fmt.Printf("debug: serving /metrics and /debug/pprof on http://%s\n", ds.Addr)
 	}
 
 	ids := flag.Args()
@@ -163,5 +203,17 @@ func main() {
 			fmt.Fprintf(os.Stderr, "rtreebench: writing %s: %v\n", *benchJSON, err)
 			os.Exit(1)
 		}
+	}
+	if *metricsPath != "" {
+		if err := writeMetrics(*metricsPath, cfg.Metrics); err != nil {
+			fmt.Fprintf(os.Stderr, "rtreebench: writing %s: %v\n", *metricsPath, err)
+			os.Exit(1)
+		}
+	}
+	if *debugAddr != "" {
+		fmt.Println("debug: serving until interrupted (Ctrl-C)")
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+		<-ch
 	}
 }

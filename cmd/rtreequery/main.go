@@ -9,16 +9,27 @@
 //	rtreeload -in tiger.ds -alg hs -cap 100 -o tiger.rt
 //	rtreequery -tree tiger.rt -buffer 200 -qx 0.05 -qy 0.05 -n 20000
 //	rtreequery -tree tiger.rt -buffer 500 -pin 2
+//	rtreequery -tree tiger.rt -buffer 200 -metrics          # obs dump + warm-up trace
+//	rtreequery -tree tiger.rt -debug-addr 127.0.0.1:6060    # /metrics + pprof
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math"
 	"math/rand/v2"
 	"os"
+	"os/signal"
+	"sort"
+	"strconv"
+	"syscall"
 
+	"rtreebuf/internal/buffer"
 	"rtreebuf/internal/core"
 	"rtreebuf/internal/geom"
+	"rtreebuf/internal/obs"
+	"rtreebuf/internal/sim"
+	"rtreebuf/internal/stats"
 	"rtreebuf/internal/storage"
 )
 
@@ -30,6 +41,8 @@ func main() {
 	n := flag.Int("n", 20000, "measured queries (a quarter as many again warm the buffer)")
 	pin := flag.Int("pin", 0, "pin the top N tree levels in the buffer")
 	seed := flag.Uint64("seed", 42, "workload seed")
+	metrics := flag.Bool("metrics", false, "collect and print observability metrics, per-level hit rates, and the model-vs-measured warm-up trace")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics and /debug/pprof on this address (keeps the process alive after the report until interrupted)")
 	flag.Parse()
 
 	if *treePath == "" {
@@ -38,15 +51,31 @@ func main() {
 		os.Exit(2)
 	}
 
+	// One registry feeds the -metrics dump and the -debug-addr endpoint;
+	// nil (all mirrors disabled, zero overhead) when neither is asked for.
+	var reg *obs.Registry
+	if *metrics || *debugAddr != "" {
+		reg = obs.NewRegistry()
+	}
+	if *debugAddr != "" {
+		ds, err := obs.StartDebugServer(*debugAddr, reg)
+		fatalIf(err)
+		defer ds.Close()
+		fmt.Printf("debug:  serving /metrics and /debug/pprof on http://%s\n", ds.Addr)
+	}
+
 	dm, err := storage.OpenFile(*treePath)
 	fatalIf(err)
 	defer dm.Close()
+	storage.SetManagerMetrics(dm, storage.NewMetrics(reg))
 
 	paged, err := storage.OpenPagedTree(dm, *bufferPages)
 	fatalIf(err)
 	meta := paged.Meta()
 	fmt.Printf("tree:   %d items, %d pages, levels %v\n", meta.Items, meta.NumPages(), meta.Levels)
 	fmt.Printf("buffer: %d pages, pinning %d levels\n", *bufferPages, *pin)
+	paged.Pool().SetMetrics(buffer.NewMetrics(reg, "lru").
+		WithLevels(buffer.LevelsFromCounts(meta.Levels), len(meta.Levels)))
 	if *pin > 0 {
 		fatalIf(paged.PinLevels(*pin))
 	}
@@ -64,6 +93,7 @@ func main() {
 	warm := *n / 4
 	dm.ResetStats() // LoadTree read every page; measure only the workload
 	results := 0
+	observedFill := 0 // N̂* of the real pool: query index at which it first filled
 	for i := 0; i < warm+*n; i++ {
 		if i == warm {
 			paged.Pool().ResetStats()
@@ -75,6 +105,9 @@ func main() {
 		})
 		fatalIf(err)
 		results += len(hits)
+		if observedFill == 0 && paged.Pool().Resident() >= paged.Pool().Capacity() {
+			observedFill = i + 1
+		}
 	}
 	hits, misses, evictions := paged.Pool().Stats()
 	measured := float64(misses) / float64(*n)
@@ -84,15 +117,121 @@ func main() {
 	fmt.Printf("pool:     %d hits, %d misses, %d evictions (hit ratio %.2f%%)\n",
 		hits, misses, evictions, 100*paged.Pool().HitRatio())
 	fmt.Printf("\ndisk accesses per query: measured %.4f, model %.4f (%+.1f%%)\n",
-		measured, predicted, pct(predicted, measured))
+		measured, predicted, 100*stats.PercentDiff(measured, predicted))
 	fmt.Printf("bufferless EPT (nodes visited per query): %.4f\n", pred.NodesVisited())
+
+	if reg != nil {
+		printWarmupComparison(tree.Levels(), pred, *bufferPages, *pin, *qx, *qy, *seed, observedFill)
+		printLevelHitRates(reg, len(meta.Levels))
+		fmt.Println("\nmetrics:")
+		fatalIf(obs.WriteText(os.Stdout, reg))
+	}
+
+	if *debugAddr != "" {
+		fmt.Println("\ndebug: serving until interrupted (Ctrl-C)")
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+		<-ch
+	}
 }
 
-func pct(model, measured float64) float64 {
-	if measured == 0 {
-		return 0
+// printWarmupComparison prints the analytic warm-up curve (D(N) and
+// expected misses) next to a measured cold-start trace of the identical
+// geometry, plus the three fill points: analytic N*, the trace's N̂*,
+// and the N̂* observed by the real pool during this run's workload.
+func printWarmupComparison(levels [][]geom.Rect, pred *core.Predictor, bufferPages, pin int, qx, qy float64, seed uint64, observedFill int) {
+	nstar := pred.WarmupQueries(bufferPages)
+
+	// Sample the curve around the fill point (quartiles to 4x), falling
+	// back to a decade ladder when the buffer never fills under the model.
+	var counts []int
+	if !math.IsInf(nstar, 1) && nstar >= 1 {
+		for _, f := range []float64{0.25, 0.5, 1, 2, 4} {
+			if c := int(math.Round(f * nstar)); c >= 1 {
+				counts = append(counts, c)
+			}
+		}
+	} else {
+		counts = []int{10, 100, 1000, 10000}
 	}
-	return 100 * (model - measured) / measured
+	sort.Ints(counts)
+
+	var w sim.Workload
+	if qx == 0 && qy == 0 {
+		w = sim.UniformPoints{}
+	} else {
+		var err error
+		w, err = sim.NewUniformRegions(qx, qy)
+		fatalIf(err)
+	}
+	trace, err := sim.TraceWarmup(levels, w, sim.Config{
+		BufferSize: bufferPages,
+		PinLevels:  pin,
+		Seed:       seed,
+	}, counts)
+	fatalIf(err)
+
+	countsF := make([]float64, len(counts))
+	for i, c := range counts {
+		countsF[i] = float64(c)
+	}
+	model := pred.WarmupCurve(bufferPages, countsF)
+
+	fmt.Printf("\nwarm-up (model vs measured, buffer %d pages):\n", bufferPages)
+	fmt.Printf("  %10s  %12s  %12s  %14s  %14s\n", "N", "D(N) model", "D^(N) meas", "misses model", "misses meas")
+	for i, pt := range trace.Points {
+		fmt.Printf("  %10d  %12.1f  %12d  %14.1f  %14d\n",
+			pt.Queries, model[i].DistinctNodes, pt.DistinctPages, model[i].ExpectedMisses, pt.Misses)
+	}
+	fmt.Printf("buffer fill: analytic N* = %s, observed N^* = %s (trace), %s (pool workload)\n",
+		fmtQueries(nstar), fmtFill(trace.FillQueries), fmtFill(observedFill))
+}
+
+func fmtQueries(n float64) string {
+	if math.IsInf(n, 1) {
+		return "never (buffer exceeds tree)"
+	}
+	return fmt.Sprintf("%.0f queries", n)
+}
+
+func fmtFill(n int) string {
+	if n == 0 {
+		return "never"
+	}
+	return fmt.Sprintf("%d queries", n)
+}
+
+// printLevelHitRates renders per-tree-level hit rates from the buffer's
+// obs series.
+func printLevelHitRates(reg *obs.Registry, levels int) {
+	type hm struct{ hits, misses float64 }
+	byLevel := make([]hm, levels)
+	for _, s := range reg.Snapshot() {
+		if s.Name != "buffer_level_hits_total" && s.Name != "buffer_level_misses_total" {
+			continue
+		}
+		for _, l := range s.Labels {
+			if l.Key != "level" {
+				continue
+			}
+			if lvl, err := strconv.Atoi(l.Value); err == nil && lvl >= 0 && lvl < levels {
+				if s.Name == "buffer_level_hits_total" {
+					byLevel[lvl].hits += s.Value
+				} else {
+					byLevel[lvl].misses += s.Value
+				}
+			}
+		}
+	}
+	fmt.Println("\nper-level buffer hit rates (cumulative, warm-up included):")
+	for lvl, c := range byLevel {
+		total := c.hits + c.misses
+		if total == 0 {
+			fmt.Printf("  level %d: no accesses\n", lvl)
+			continue
+		}
+		fmt.Printf("  level %d: %6.2f%% of %.0f accesses\n", lvl, 100*c.hits/total, total)
+	}
 }
 
 func fatalIf(err error) {

@@ -42,5 +42,13 @@ func HotRoots() []RootSpec {
 		{Path: mod + "/internal/core", Name: "AccessProbs"},
 		{Path: mod + "/internal/core", Recv: "Predictor", Name: "DiskAccessesSweep"},
 		{Path: mod + "/internal/sim", Name: "RunParallel"},
+		// The obs write paths ride the buffer/query hot path (as nil-receiver
+		// no-ops when metrics are off); root them explicitly so an allocation
+		// grown there is flagged even if a refactor detaches them from the
+		// Pool.Get call graph.
+		{Path: mod + "/internal/obs", Recv: "Counter", Name: "*"},
+		{Path: mod + "/internal/obs", Recv: "Gauge", Name: "*"},
+		{Path: mod + "/internal/obs", Recv: "Histogram", Name: "Observe"},
+		{Path: mod + "/internal/buffer", Recv: "Metrics", Name: "on*"},
 	}
 }

@@ -109,13 +109,21 @@ func (s *stdImporter) closure(path string, seen map[string]bool, order *[]string
 	return nil
 }
 
-// buildPkg locates path in GOROOT (vendored golang.org/x packages
-// resolve because srcDir sits inside GOROOT/src) and memoizes the result.
+// buildPkg locates path in GOROOT and memoizes the result. Packages the
+// stdlib vendors (net imports golang.org/x/net/dns/dnsmessage, which
+// lives under GOROOT/src/vendor) are not found by a plain import-path
+// lookup — go/build defers to module resolution for them — so those
+// retry under the explicit vendor/ prefix.
 func (s *stdImporter) buildPkg(path string) (*build.Package, error) {
 	if bp, ok := s.bps[path]; ok {
 		return bp, nil
 	}
 	bp, err := s.ctx.Import(path, s.srcDir, 0)
+	if err != nil && !strings.HasPrefix(path, "vendor/") {
+		if vbp, verr := s.ctx.Import("vendor/"+path, s.srcDir, 0); verr == nil {
+			bp, err = vbp, nil
+		}
+	}
 	if err != nil {
 		return nil, fmt.Errorf("analysis: locating stdlib package %s: %w", path, err)
 	}

@@ -22,7 +22,7 @@ type Clock struct {
 	size    int
 	nPinned int
 
-	hits, misses, evictions uint64
+	policyCounters
 }
 
 // NewClock returns an empty CLOCK cache of the given page capacity over
@@ -66,11 +66,15 @@ func (c *Clock) Contains(page int) bool { return c.frameOf[page] != sentinel }
 // faulted in, evicting via the clock hand if needed.
 func (c *Clock) Access(page int) bool {
 	if f := c.frameOf[page]; f != sentinel {
-		c.hits++
+		if c.pinned[page] {
+			c.pinHit(page)
+		} else {
+			c.hit(page)
+		}
 		c.ref[f] = true
 		return true
 	}
-	c.misses++
+	c.miss(page)
 	c.insert(page)
 	return false
 }
@@ -111,7 +115,7 @@ func (c *Clock) insert(page int) {
 		c.frames[f] = int32(page)
 		c.ref[f] = true
 		c.frameOf[page] = int32(f)
-		c.evictions++
+		c.evict()
 		return
 	}
 }
@@ -125,7 +129,7 @@ func (c *Clock) Pin(page int) error {
 		return fmt.Errorf("buffer: cannot pin page %d: all %d slots pinned", page, c.capacity)
 	}
 	if c.frameOf[page] == sentinel {
-		c.misses++
+		c.miss(page)
 		c.insert(page)
 	}
 	c.pinned[page] = true
@@ -142,22 +146,8 @@ func (c *Clock) Unpin(page int) {
 	c.nPinned--
 }
 
-// Stats returns cumulative hits, misses, and evictions.
-func (c *Clock) Stats() (hits, misses, evictions uint64) {
-	return c.hits, c.misses, c.evictions
-}
-
-// ResetStats zeroes the counters without disturbing contents.
-func (c *Clock) ResetStats() { c.hits, c.misses, c.evictions = 0, 0, 0 }
-
-// HitRatio returns hits/(hits+misses), or 0 before any access.
-func (c *Clock) HitRatio() float64 {
-	total := c.hits + c.misses
-	if total == 0 {
-		return 0
-	}
-	return float64(c.hits) / float64(total)
-}
+// Stats, ResetStats, HitRatio, and SetMetrics are promoted from the
+// embedded policyCounters, the accounting struct shared by every Policy.
 
 // Policy is the replacement-policy contract shared by LRU and Clock,
 // letting the validation simulator swap policies.
@@ -172,6 +162,9 @@ type Policy interface {
 	Stats() (hits, misses, evictions uint64)
 	ResetStats()
 	HitRatio() float64
+	// SetMetrics attaches (or with nil detaches) an obs mirror that
+	// shadows every hit/miss/evict into a metrics registry.
+	SetMetrics(*Metrics)
 }
 
 // Compile-time conformance.

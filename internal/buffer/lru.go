@@ -27,7 +27,7 @@ type LRU struct {
 	size    int // resident pages, including pinned
 	nPinned int
 
-	hits, misses, evictions uint64
+	policyCounters
 
 	// OnEvict, if non-nil, is called with each page evicted, letting a
 	// page pool release the frame memory. It must not call back into the
@@ -79,15 +79,15 @@ func (l *LRU) Contains(page int) bool { return l.resident[page] }
 // if needed). A miss models one disk access.
 func (l *LRU) Access(page int) bool {
 	if l.pinned[page] {
-		l.hits++
+		l.pinHit(page)
 		return true
 	}
 	if l.resident[page] {
-		l.hits++
+		l.hit(page)
 		l.moveToFront(int32(page))
 		return true
 	}
-	l.misses++
+	l.miss(page)
 	if l.size >= l.capacity {
 		l.evictLRU()
 	}
@@ -110,7 +110,7 @@ func (l *LRU) Pin(page int) error {
 	if l.resident[page] {
 		l.unlink(int32(page))
 	} else {
-		l.misses++
+		l.miss(page)
 		if l.size >= l.capacity {
 			if err := l.tryEvict(); err != nil {
 				return err
@@ -148,23 +148,8 @@ func (l *LRU) Remove(page int) bool {
 	return true
 }
 
-// Stats returns cumulative hits, misses, and evictions.
-func (l *LRU) Stats() (hits, misses, evictions uint64) {
-	return l.hits, l.misses, l.evictions
-}
-
-// ResetStats zeroes the counters without disturbing cache contents —
-// used to discard warm-up before measuring steady state.
-func (l *LRU) ResetStats() { l.hits, l.misses, l.evictions = 0, 0, 0 }
-
-// HitRatio returns hits/(hits+misses), or 0 before any access.
-func (l *LRU) HitRatio() float64 {
-	total := l.hits + l.misses
-	if total == 0 {
-		return 0
-	}
-	return float64(l.hits) / float64(total)
-}
+// Stats, ResetStats, HitRatio, and SetMetrics are promoted from the
+// embedded policyCounters, the accounting struct shared by every Policy.
 
 func (l *LRU) evictLRU() {
 	if err := l.tryEvict(); err != nil {
@@ -182,7 +167,7 @@ func (l *LRU) tryEvict() error {
 	l.unlink(victim)
 	l.resident[victim] = false
 	l.size--
-	l.evictions++
+	l.evict()
 	if l.OnEvict != nil {
 		l.OnEvict(int(victim))
 	}

@@ -1,0 +1,130 @@
+package buffer
+
+import (
+	"testing"
+
+	"rtreebuf/internal/obs"
+)
+
+// counterValue reads one counter from the registry snapshot by full name.
+func counterValue(t *testing.T, reg *obs.Registry, fullName string) float64 {
+	t.Helper()
+	for _, s := range reg.Snapshot() {
+		if s.FullName() == fullName {
+			return s.Value
+		}
+	}
+	t.Fatalf("metric %s not found in snapshot", fullName)
+	return 0
+}
+
+// TestMetricsMirrorsStats drives an LRU through hits, misses, evictions,
+// and pin hits, and asserts the obs mirror matches Stats() exactly.
+func TestMetricsMirrorsStats(t *testing.T) {
+	reg := obs.NewRegistry()
+	l := NewLRU(2, 8)
+	l.SetMetrics(NewMetrics(reg, "lru"))
+
+	if err := l.Pin(0); err != nil { // miss (faults page 0 in, pinned)
+		t.Fatal(err)
+	}
+	l.Access(0) // pin hit
+	l.Access(1) // miss
+	l.Access(1) // hit
+	l.Access(2) // miss, evicts 1 (0 is pinned)
+	l.Access(1) // miss, evicts 2
+
+	hits, misses, evictions := l.Stats()
+	if hits != 2 || misses != 4 || evictions != 2 {
+		t.Fatalf("Stats() = %d/%d/%d, want 2/4/2", hits, misses, evictions)
+	}
+	checks := map[string]float64{
+		`buffer_hits_total{policy="lru"}`:      float64(hits),
+		`buffer_misses_total{policy="lru"}`:    float64(misses),
+		`buffer_evictions_total{policy="lru"}`: float64(evictions),
+		`buffer_pin_hits_total{policy="lru"}`:  1,
+	}
+	for name, want := range checks {
+		if got := counterValue(t, reg, name); got != want {
+			t.Errorf("%s = %v, want %v", name, got, want)
+		}
+	}
+}
+
+// TestMetricsPerLevel checks per-level splits sum to the policy totals.
+func TestMetricsPerLevel(t *testing.T) {
+	reg := obs.NewRegistry()
+	// Pages 0 is level 0 (root); pages 1..3 are level 1.
+	levelOf := LevelsFromCounts([]int{1, 3})
+	if len(levelOf) != 4 || levelOf[0] != 0 || levelOf[3] != 1 {
+		t.Fatalf("LevelsFromCounts = %v", levelOf)
+	}
+	c := NewClock(2, 4)
+	c.SetMetrics(NewMetrics(reg, "clock").WithLevels(levelOf, 2))
+
+	c.Access(0) // miss level 0
+	c.Access(0) // hit level 0
+	c.Access(1) // miss level 1
+	c.Access(2) // miss level 1 (evicts)
+	c.Access(2) // hit level 1
+
+	hits, misses, _ := c.Stats()
+	lvlHits := counterValue(t, reg, `buffer_level_hits_total{level="0",policy="clock"}`) +
+		counterValue(t, reg, `buffer_level_hits_total{level="1",policy="clock"}`)
+	lvlMisses := counterValue(t, reg, `buffer_level_misses_total{level="0",policy="clock"}`) +
+		counterValue(t, reg, `buffer_level_misses_total{level="1",policy="clock"}`)
+	if lvlHits != float64(hits) || lvlMisses != float64(misses) {
+		t.Errorf("per-level sums %v/%v != totals %d/%d", lvlHits, lvlMisses, hits, misses)
+	}
+	if got := counterValue(t, reg, `buffer_level_hits_total{level="0",policy="clock"}`); got != 1 {
+		t.Errorf("level-0 hits = %v, want 1", got)
+	}
+}
+
+// TestResetStatsLeavesObsCumulative: warm-up discard must zero only the
+// result-bearing counters; the obs series keep their full history.
+func TestResetStatsLeavesObsCumulative(t *testing.T) {
+	reg := obs.NewRegistry()
+	l := NewLRU(2, 4)
+	l.SetMetrics(NewMetrics(reg, "lru"))
+
+	l.Access(0)
+	l.Access(0)
+	l.ResetStats()
+	if h, m, e := l.Stats(); h != 0 || m != 0 || e != 0 {
+		t.Fatalf("Stats after reset = %d/%d/%d, want zeros", h, m, e)
+	}
+	if got := counterValue(t, reg, `buffer_hits_total{policy="lru"}`); got != 1 {
+		t.Errorf("obs hits after ResetStats = %v, want cumulative 1", got)
+	}
+	if got := counterValue(t, reg, `buffer_misses_total{policy="lru"}`); got != 1 {
+		t.Errorf("obs misses after ResetStats = %v, want cumulative 1", got)
+	}
+}
+
+// TestPoolReadFailureMetric: pool read failures reach the obs mirror.
+func TestPoolReadFailureMetric(t *testing.T) {
+	reg := obs.NewRegistry()
+	src := &fakeSource{pageSize: 8, numPages: 4, failOn: map[int]bool{1: true}}
+	p := NewPool(src, 2, 4)
+	p.SetMetrics(NewMetrics(reg, "lru"))
+
+	if _, err := p.Get(1); err == nil {
+		t.Fatal("expected read error")
+	}
+	if p.FailedReads() != 1 {
+		t.Fatalf("FailedReads = %d, want 1", p.FailedReads())
+	}
+	if got := counterValue(t, reg, `buffer_read_failures_total{policy="lru"}`); got != 1 {
+		t.Errorf("obs read failures = %v, want 1", got)
+	}
+}
+
+func TestPolicyName(t *testing.T) {
+	if got := PolicyName(&LRU{}); got != "lru" {
+		t.Errorf("PolicyName(LRU) = %q", got)
+	}
+	if got := PolicyName(&Clock{}); got != "clock" {
+		t.Errorf("PolicyName(Clock) = %q", got)
+	}
+}

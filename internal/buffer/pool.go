@@ -30,6 +30,19 @@ type Pool struct {
 	// no frame resident, so callers watching for degraded storage can
 	// tell "cold buffer" apart from "sick disk".
 	readFailures uint64
+	metrics      *Metrics
+}
+
+// SetMetrics attaches an obs mirror: buffer events flow to the mirror's
+// registry alongside the pool's own counters. Nil detaches.
+func (p *Pool) SetMetrics(m *Metrics) {
+	p.metrics = m
+	p.lru.SetMetrics(m)
+}
+
+func (p *Pool) noteReadFailure() {
+	p.readFailures++
+	p.metrics.onReadFailure()
 }
 
 // NewPool returns a pool of the given capacity (in pages) over pages
@@ -63,7 +76,7 @@ func (p *Pool) Get(page int) ([]byte, error) {
 		// frame resident. The source error stays in the chain so the
 		// storage layer's fault classification (transient vs permanent)
 		// survives the trip through the pool.
-		p.readFailures++
+		p.noteReadFailure()
 		p.lru.Remove(page)
 		p.free = append(p.free, frame)
 		return nil, fmt.Errorf("buffer: reading page %d: %w", page, err)
@@ -126,7 +139,7 @@ func (p *Pool) install(page int, data []byte) {
 // The returned error matches Get's wrapping.
 func (p *Pool) failedFault(page int, err error) error {
 	p.lru.Access(page)
-	p.readFailures++
+	p.noteReadFailure()
 	p.lru.Remove(page)
 	return fmt.Errorf("buffer: reading page %d: %w", page, err)
 }
@@ -157,7 +170,7 @@ func (p *Pool) installPinned(page int, data []byte) {
 // failedPin backs out preparePin after a failed source read, matching
 // Pin's error wrapping.
 func (p *Pool) failedPin(page int, err error) error {
-	p.readFailures++
+	p.noteReadFailure()
 	p.lru.Unpin(page)
 	p.lru.Remove(page)
 	return fmt.Errorf("buffer: pinning page %d: %w", page, err)
@@ -175,7 +188,7 @@ func (p *Pool) Pin(page int) error {
 	if !resident {
 		frame := p.takeFrame()
 		if err := p.src.ReadPage(page, frame); err != nil {
-			p.readFailures++
+			p.noteReadFailure()
 			p.lru.Unpin(page)
 			p.lru.Remove(page)
 			p.free = append(p.free, frame)

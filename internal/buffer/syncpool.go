@@ -140,6 +140,15 @@ func (s *SyncPool) Unpin(page int) {
 	s.pool.Unpin(page)
 }
 
+// SetMetrics attaches an obs mirror to the wrapped pool. The obs
+// counters are themselves atomic, so mirrored events stay race-free
+// even though readers may snapshot the registry concurrently.
+func (s *SyncPool) SetMetrics(m *Metrics) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pool.SetMetrics(m)
+}
+
 // Stats returns cumulative hits, misses, and evictions.
 func (s *SyncPool) Stats() (hits, misses, evictions uint64) {
 	s.mu.Lock()

@@ -6,6 +6,7 @@ import (
 	"rtreebuf/internal/core"
 	"rtreebuf/internal/datagen"
 	"rtreebuf/internal/geom"
+	"rtreebuf/internal/obs"
 	"rtreebuf/internal/pack"
 	"rtreebuf/internal/rtree"
 )
@@ -24,6 +25,10 @@ type Config struct {
 	// (paper: 20 x 1,000,000). Zero selects 20 x 50,000 (Quick: 10 x 5,000).
 	SimBatches   int
 	SimBatchSize int
+	// Metrics, when non-nil, receives engine observability: per-experiment
+	// wall time and build-cache hit/miss counts. Reports stay byte-
+	// identical with or without it.
+	Metrics *obs.Registry
 
 	// cache deduplicates dataset generation and tree packing across
 	// experiments; set by RunAll, nil (build fresh) for direct Run calls.

@@ -5,6 +5,8 @@ import (
 	"runtime"
 	"sync"
 	"time"
+
+	"rtreebuf/internal/obs"
 )
 
 // This file is the parallel, memoized experiment engine. Registry entries
@@ -26,6 +28,9 @@ import (
 type buildCache struct {
 	mu      sync.Mutex
 	entries map[any]*cacheEntry
+	// hits/misses mirror cache effectiveness into the obs registry; nil
+	// (free no-ops) when the engine runs without metrics.
+	hits, misses *obs.Counter
 }
 
 type cacheEntry struct {
@@ -63,6 +68,9 @@ func (c *buildCache) get(key any, build func() (any, error)) (any, error) {
 	if !ok {
 		e = &cacheEntry{}
 		c.entries[key] = e
+		c.misses.Inc()
+	} else {
+		c.hits.Inc()
 	}
 	c.mu.Unlock()
 	e.once.Do(func() { e.val, e.err = build() })
@@ -104,6 +112,8 @@ func RunAllTimed(ids []string, cfg Config, workers int) ([]*Report, []Timing, er
 		workers = len(ids)
 	}
 	cfg.cache = newBuildCache()
+	cfg.cache.hits = cfg.Metrics.Counter("experiments_build_cache_hits_total")
+	cfg.cache.misses = cfg.Metrics.Counter("experiments_build_cache_misses_total")
 	cfg.workers = workers
 
 	reports := make([]*Report, len(ids))
@@ -119,6 +129,8 @@ func RunAllTimed(ids []string, cfg Config, workers int) ([]*Report, []Timing, er
 				start := time.Now()
 				reports[i], errs[i] = Run(ids[i], cfg)
 				timings[i] = Timing{ID: ids[i], Seconds: time.Since(start).Seconds()}
+				cfg.Metrics.Gauge("experiment_wall_seconds", obs.L("id", ids[i])).Set(timings[i].Seconds)
+				cfg.Metrics.Counter("experiments_run_total").Inc()
 			}
 		}()
 	}

@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"rtreebuf/internal/obs"
+)
+
+// TestReportsByteIdenticalWithMetrics: attaching a registry to the
+// engine must not change a single report byte.
+func TestReportsByteIdenticalWithMetrics(t *testing.T) {
+	ids := []string{"fig6", "table1"}
+	plain, err := RunAll(ids, quickCfg(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := quickCfg()
+	cfg.Metrics = obs.NewRegistry()
+	instrumented, err := RunAll(ids, cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, id := range ids {
+		if plain[i].Text() != instrumented[i].Text() {
+			t.Errorf("%s: report differs with metrics attached", id)
+		}
+	}
+
+	// The registry must have collected the engine series.
+	snap := cfg.Metrics.Snapshot()
+	byName := map[string]float64{}
+	for _, s := range snap {
+		byName[s.FullName()] = s.Value
+	}
+	if got := byName["experiments_run_total"]; got != float64(len(ids)) {
+		t.Errorf("experiments_run_total = %v, want %d", got, len(ids))
+	}
+	if byName["experiments_build_cache_misses_total"] == 0 {
+		t.Error("cache miss counter never incremented — every build was a hit?")
+	}
+	foundWall := false
+	for _, s := range snap {
+		if strings.HasPrefix(s.FullName(), `experiment_wall_seconds{id="`) {
+			foundWall = true
+			if s.Value <= 0 {
+				t.Errorf("%s = %v, want > 0", s.FullName(), s.Value)
+			}
+		}
+	}
+	if !foundWall {
+		t.Error("no experiment_wall_seconds gauges collected")
+	}
+}

@@ -1,0 +1,187 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// This file renders a Registry snapshot in the three formats the tooling
+// consumes: an aligned text table for humans, JSON for scripts, and the
+// Prometheus text exposition format for scrapers. All three render the
+// same deterministic Snapshot, so outputs are stable for golden tests.
+
+// fmtFloat renders a float64 the same way in every exporter: shortest
+// round-trip representation, integers without a decimal point.
+func fmtFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	if math.IsInf(v, -1) {
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteText renders the snapshot as an aligned two-column table
+// (metric, value); histograms additionally list count, sum, and mean.
+func WriteText(w io.Writer, r *Registry) error {
+	samples := r.Snapshot()
+	if len(samples) == 0 {
+		_, err := fmt.Fprintln(w, "(no metrics)")
+		return err
+	}
+	width := 0
+	for _, s := range samples {
+		if n := len(s.FullName()); n > width {
+			width = n
+		}
+	}
+	for _, s := range samples {
+		var val string
+		switch s.Kind {
+		case KindHistogram:
+			mean := 0.0
+			if s.Count > 0 {
+				mean = s.Sum / float64(s.Count)
+			}
+			val = fmt.Sprintf("count=%d sum=%s mean=%s", s.Count, fmtFloat(s.Sum), fmtFloat(mean))
+		default:
+			val = fmtFloat(s.Value)
+		}
+		if _, err := fmt.Fprintf(w, "%-*s  %s\n", width, s.FullName(), val); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// jsonSample is the JSON shape of one metric.
+type jsonSample struct {
+	Name    string            `json:"name"`
+	Labels  map[string]string `json:"labels,omitempty"`
+	Kind    string            `json:"kind"`
+	Value   *float64          `json:"value,omitempty"`
+	Count   *uint64           `json:"count,omitempty"`
+	Sum     *float64          `json:"sum,omitempty"`
+	Buckets []jsonBucket      `json:"buckets,omitempty"`
+}
+
+type jsonBucket struct {
+	LE    string `json:"le"` // exclusive upper bound; "+Inf" for the tail
+	Count uint64 `json:"count"`
+}
+
+// WriteJSON renders the snapshot as a JSON array of metric objects,
+// sorted like Snapshot, with a trailing newline.
+func WriteJSON(w io.Writer, r *Registry) error {
+	samples := r.Snapshot()
+	out := make([]jsonSample, 0, len(samples))
+	for _, s := range samples {
+		js := jsonSample{Name: s.Name, Kind: s.Kind.String()}
+		if len(s.Labels) > 0 {
+			js.Labels = make(map[string]string, len(s.Labels))
+			for _, l := range s.Labels {
+				js.Labels[l.Key] = l.Value
+			}
+		}
+		switch s.Kind {
+		case KindHistogram:
+			count, sum := s.Count, s.Sum
+			js.Count, js.Sum = &count, &sum
+			for _, b := range s.Buckets {
+				js.Buckets = append(js.Buckets, jsonBucket{LE: fmtFloat(b.UpperBound), Count: b.Count})
+			}
+		default:
+			v := s.Value
+			js.Value = &v
+		}
+		out = append(out, js)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// promEscape escapes a label value per the Prometheus text format:
+// backslash, double quote, and newline.
+func promEscape(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}
+
+// promLabels renders {k="v",...} (empty string for no labels), with an
+// optional extra label appended (used for histogram le).
+func promLabels(labels []Label, extra ...Label) string {
+	all := append(append([]Label(nil), labels...), extra...)
+	if len(all) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range all {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, l.Key, promEscape(l.Value))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format (version 0.0.4): one # TYPE line per metric family, counters and
+// gauges as single samples, histograms as cumulative _bucket series plus
+// _sum and _count.
+func WritePrometheus(w io.Writer, r *Registry) error {
+	samples := r.Snapshot()
+	// Snapshot sorts by full name, so families (same bare name) are
+	// contiguous; emit the TYPE header when the family changes.
+	lastFamily := ""
+	for _, s := range samples {
+		if s.Name != lastFamily {
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", s.Name, s.Kind); err != nil {
+				return err
+			}
+			lastFamily = s.Name
+		}
+		switch s.Kind {
+		case KindHistogram:
+			cum := uint64(0)
+			sawInf := false
+			for _, b := range s.Buckets {
+				cum += b.Count
+				le := fmtFloat(b.UpperBound)
+				if math.IsInf(b.UpperBound, 1) {
+					sawInf = true
+				}
+				if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+					s.Name, promLabels(s.Labels, L("le", le)), cum); err != nil {
+					return err
+				}
+			}
+			if !sawInf {
+				if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+					s.Name, promLabels(s.Labels, L("le", "+Inf")), cum); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", s.Name, promLabels(s.Labels), fmtFloat(s.Sum)); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_count%s %d\n", s.Name, promLabels(s.Labels), s.Count); err != nil {
+				return err
+			}
+		default:
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", s.Name, promLabels(s.Labels), fmtFloat(s.Value)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

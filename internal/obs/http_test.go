@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestMetricsHandler(t *testing.T) {
+	r := goldenRegistry()
+	srv := httptest.NewServer(Handler(r))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("content type = %q, want prometheus text exposition", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want strings.Builder
+	if err := WritePrometheus(&want, r); err != nil {
+		t.Fatal(err)
+	}
+	if string(body) != want.String() {
+		t.Errorf("handler body:\n%s\nwant:\n%s", body, want.String())
+	}
+}
+
+func TestDebugServerServesMetricsAndPprof(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("up_total").Inc()
+	ds, err := StartDebugServer("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get("http://" + ds.Addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := get("/metrics"); code != 200 || !strings.Contains(body, "up_total 1") {
+		t.Errorf("/metrics = %d %q", code, body)
+	}
+	// pprof index must answer; the 1-second CPU profile is exercised by
+	// the CI smoke (too slow for a unit test).
+	if code, _ := get("/debug/pprof/"); code != 200 {
+		t.Errorf("/debug/pprof/ status = %d", code)
+	}
+	if code, _ := get("/debug/pprof/cmdline"); code != 200 {
+		t.Errorf("/debug/pprof/cmdline status = %d", code)
+	}
+}

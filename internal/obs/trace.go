@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Tracer is a lightweight span/event recorder for coarse query-path
+// tracing: which phases a command or experiment went through and how long
+// each took. It records into a bounded in-memory buffer (oldest spans are
+// dropped once the cap is reached) and renders as text next to a metrics
+// dump — no wire protocol, no sampling machinery.
+//
+// A nil *Tracer is the disabled tracer: Start returns an inert Span and
+// Event does nothing, with zero allocations, so instrumented code calls
+// it unconditionally.
+type Tracer struct {
+	mu      sync.Mutex
+	spans   []SpanRecord
+	dropped uint64
+	max     int
+	clock   func() time.Time
+}
+
+// DefaultTraceCap bounds how many finished spans a tracer retains.
+const DefaultTraceCap = 4096
+
+// NewTracer returns an enabled tracer retaining up to max finished spans
+// (max <= 0 selects DefaultTraceCap).
+func NewTracer(max int) *Tracer {
+	if max <= 0 {
+		max = DefaultTraceCap
+	}
+	return &Tracer{max: max, clock: time.Now}
+}
+
+// SpanRecord is one finished span (or instantaneous event, when Duration
+// is zero and Event is true).
+type SpanRecord struct {
+	Name     string
+	Attrs    []Label
+	Start    time.Time
+	Duration time.Duration
+	Event    bool
+}
+
+// Span is an in-progress span handle. The zero Span (from a nil tracer)
+// is inert.
+type Span struct {
+	t     *Tracer
+	name  string
+	start time.Time
+}
+
+// Start begins a span. On a nil tracer it returns the inert zero Span
+// without allocating.
+func (t *Tracer) Start(name string) Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{t: t, name: name, start: t.clock()}
+}
+
+// End finishes the span, recording its duration with optional attributes.
+// Safe on the zero Span.
+func (s Span) End(attrs ...Label) {
+	if s.t == nil {
+		return
+	}
+	s.t.record(SpanRecord{
+		Name:     s.name,
+		Attrs:    attrs,
+		Start:    s.start,
+		Duration: s.t.clock().Sub(s.start),
+	})
+}
+
+// Event records an instantaneous named event. Safe (and allocation-free)
+// on a nil tracer.
+func (t *Tracer) Event(name string, attrs ...Label) {
+	if t == nil {
+		return
+	}
+	t.record(SpanRecord{Name: name, Attrs: attrs, Start: t.clock(), Event: true})
+}
+
+func (t *Tracer) record(r SpanRecord) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.spans) >= t.max {
+		// Drop the oldest half in one move so appends stay amortized O(1).
+		half := len(t.spans) / 2
+		t.dropped += uint64(half)
+		t.spans = append(t.spans[:0], t.spans[half:]...)
+	}
+	t.spans = append(t.spans, r)
+}
+
+// Spans returns a copy of the retained records in completion order, plus
+// how many older records were dropped. Nil tracers return nothing.
+func (t *Tracer) Spans() (spans []SpanRecord, dropped uint64) {
+	if t == nil {
+		return nil, 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]SpanRecord(nil), t.spans...), t.dropped
+}
+
+// Text renders the retained spans as an indented timeline, one line per
+// record, ordered by completion. Durations are rounded for readability;
+// pass a zero round to keep full precision.
+func (t *Tracer) Text(round time.Duration) string {
+	spans, dropped := t.Spans()
+	if len(spans) == 0 && dropped == 0 {
+		return ""
+	}
+	var b strings.Builder
+	if dropped > 0 {
+		fmt.Fprintf(&b, "... %d older spans dropped ...\n", dropped)
+	}
+	for _, r := range spans {
+		if r.Event {
+			fmt.Fprintf(&b, "event %-24s", r.Name)
+		} else {
+			d := r.Duration
+			if round > 0 {
+				d = d.Round(round)
+			}
+			fmt.Fprintf(&b, "span  %-24s %12s", r.Name, d)
+		}
+		attrs := append([]Label(nil), r.Attrs...)
+		sort.Slice(attrs, func(i, j int) bool { return attrs[i].Key < attrs[j].Key })
+		for _, a := range attrs {
+			fmt.Fprintf(&b, "  %s=%s", a.Key, a.Value)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock returns a clock that advances a fixed step per call.
+func fakeClock(start time.Time, step time.Duration) func() time.Time {
+	now := start
+	return func() time.Time {
+		t := now
+		now = now.Add(step)
+		return t
+	}
+}
+
+func TestTracerSpansAndEvents(t *testing.T) {
+	tr := NewTracer(16)
+	tr.clock = fakeClock(time.Unix(0, 0), time.Second)
+
+	sp := tr.Start("load")
+	tr.Event("checkpoint", L("page", "7"))
+	sp.End(L("pages", "10"))
+
+	spans, dropped := tr.Spans()
+	if dropped != 0 {
+		t.Errorf("dropped = %d, want 0", dropped)
+	}
+	if len(spans) != 2 {
+		t.Fatalf("got %d records, want 2", len(spans))
+	}
+	// The event finished first (records are in completion order).
+	if !spans[0].Event || spans[0].Name != "checkpoint" {
+		t.Errorf("first record = %+v, want the checkpoint event", spans[0])
+	}
+	if spans[1].Name != "load" || spans[1].Event {
+		t.Errorf("second record = %+v, want the load span", spans[1])
+	}
+	// Start at t=0, event consumed t=1, End observed t=2: duration 2s.
+	if spans[1].Duration != 2*time.Second {
+		t.Errorf("span duration = %v, want 2s", spans[1].Duration)
+	}
+
+	text := tr.Text(time.Millisecond)
+	if !strings.Contains(text, "span  load") || !strings.Contains(text, "pages=10") {
+		t.Errorf("text rendering missing span line:\n%s", text)
+	}
+	if !strings.Contains(text, "event checkpoint") || !strings.Contains(text, "page=7") {
+		t.Errorf("text rendering missing event line:\n%s", text)
+	}
+}
+
+func TestTracerBoundedRetention(t *testing.T) {
+	tr := NewTracer(8)
+	for i := 0; i < 20; i++ {
+		tr.Event("e")
+	}
+	spans, dropped := tr.Spans()
+	if len(spans) > 8 {
+		t.Errorf("retained %d spans, cap is 8", len(spans))
+	}
+	if int(dropped)+len(spans) != 20 {
+		t.Errorf("dropped %d + retained %d != 20 recorded", dropped, len(spans))
+	}
+	if !strings.Contains(tr.Text(0), "older spans dropped") {
+		t.Error("text rendering does not mention dropped spans")
+	}
+}
+
+func TestTracerNilIsInert(t *testing.T) {
+	var tr *Tracer
+	sp := tr.Start("x")
+	sp.End()
+	tr.Event("y")
+	if spans, dropped := tr.Spans(); spans != nil || dropped != 0 {
+		t.Error("nil tracer returned records")
+	}
+	if tr.Text(0) != "" {
+		t.Error("nil tracer rendered text")
+	}
+}
+
+// TestTracerConcurrency exercises the tracer from many goroutines; run
+// under -race this is its race test.
+func TestTracerConcurrency(t *testing.T) {
+	tr := NewTracer(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				sp := tr.Start("work")
+				tr.Event("tick")
+				sp.End()
+			}
+		}()
+	}
+	wg.Wait()
+	spans, dropped := tr.Spans()
+	if int(dropped)+len(spans) != 8*500*2 {
+		t.Errorf("dropped %d + retained %d != %d recorded", dropped, len(spans), 8*500*2)
+	}
+}

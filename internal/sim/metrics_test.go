@@ -1,0 +1,158 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"rtreebuf/internal/obs"
+)
+
+func snapValue(t *testing.T, reg *obs.Registry, fullName string) (float64, bool) {
+	t.Helper()
+	for _, s := range reg.Snapshot() {
+		if s.FullName() == fullName {
+			return s.Value, true
+		}
+	}
+	return 0, false
+}
+
+// TestResultsByteIdenticalWithMetrics is the contract the whole obs
+// layer hangs on: attaching a registry must not change any numeric
+// result — serial or parallel.
+func TestResultsByteIdenticalWithMetrics(t *testing.T) {
+	levels, _ := fixtureLevels(t, 2000, 20)
+	base := Config{BufferSize: 20, Batches: 4, BatchSize: 2000, Seed: 99}
+
+	plain, err := Run(levels, UniformPoints{}, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	instrumented := base
+	instrumented.Metrics = obs.NewRegistry()
+	withObs, err := Run(levels, UniformPoints{}, instrumented)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, withObs) {
+		t.Errorf("Run results differ with metrics attached:\n%+v\n%+v", plain, withObs)
+	}
+
+	par := base
+	par.Workers = 4
+	plainPar, err := RunParallel(levels, UniformPoints{}, par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parObs := par
+	parObs.Metrics = obs.NewRegistry()
+	withObsPar, err := RunParallel(levels, UniformPoints{}, parObs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plainPar, withObsPar) {
+		t.Errorf("RunParallel results differ with metrics attached:\n%+v\n%+v", plainPar, withObsPar)
+	}
+}
+
+// TestRunMetricsContent checks the collected series agree with the
+// returned Result for a serial run.
+func TestRunMetricsContent(t *testing.T) {
+	levels, _ := fixtureLevels(t, 2000, 20)
+	reg := obs.NewRegistry()
+	cfg := Config{BufferSize: 20, Batches: 4, BatchSize: 2000, Seed: 99, Metrics: reg}
+	res, err := Run(levels, UniformPoints{}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := snapValue(t, reg, "sim_queries_total"); !ok || got != float64(res.Queries) {
+		t.Errorf("sim_queries_total = %v (ok=%v), want %d", got, ok, res.Queries)
+	}
+	if got, ok := snapValue(t, reg, "sim_fill_query"); !ok || got != float64(res.FillQueries) {
+		t.Errorf("sim_fill_query = %v (ok=%v), want %d", got, ok, res.FillQueries)
+	}
+	if got, ok := snapValue(t, reg, "sim_hit_ratio"); !ok || got != res.HitRatio {
+		t.Errorf("sim_hit_ratio = %v (ok=%v), want %v", got, ok, res.HitRatio)
+	}
+	// Buffer mirror present and labeled with the default policy.
+	if _, ok := snapValue(t, reg, `buffer_hits_total{policy="lru"}`); !ok {
+		t.Error("buffer_hits_total{policy=lru} missing from sim registry")
+	}
+	// Per-level series exist for the root level.
+	if _, ok := snapValue(t, reg, `buffer_level_hits_total{level="0",policy="lru"}`); !ok {
+		t.Error("per-level buffer series missing from sim registry")
+	}
+}
+
+// TestParallelMetricsMerge: with Workers > 1 each replica collects into
+// a private registry; after the ordered merge the totals must cover the
+// whole batch budget, and the merged run must be deterministic.
+func TestParallelMetricsMerge(t *testing.T) {
+	levels, _ := fixtureLevels(t, 2000, 20)
+	run := func() (*obs.Registry, Result) {
+		reg := obs.NewRegistry()
+		cfg := Config{BufferSize: 20, Batches: 8, BatchSize: 1000, Seed: 7, Workers: 4, Metrics: reg}
+		res, err := RunParallel(levels, UniformPoints{}, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return reg, res
+	}
+	reg, res := run()
+	if got, ok := snapValue(t, reg, "sim_queries_total"); !ok || got != float64(res.Queries) {
+		t.Errorf("merged sim_queries_total = %v (ok=%v), want %d", got, ok, res.Queries)
+	}
+	// Each of the 4 replicas warms up independently.
+	wantWarm := 4 * Config{BufferSize: 20, Batches: 8, BatchSize: 1000}.withDefaults().Warmup
+	if got, ok := snapValue(t, reg, "sim_warmup_queries_total"); !ok || got != float64(wantWarm) {
+		t.Errorf("merged sim_warmup_queries_total = %v (ok=%v), want %d", got, ok, wantWarm)
+	}
+	// The fill gauge comes from replica 0 alone, matching Result.
+	if got, ok := snapValue(t, reg, "sim_fill_query"); !ok || got != float64(res.FillQueries) {
+		t.Errorf("merged sim_fill_query = %v (ok=%v), want %d", got, ok, res.FillQueries)
+	}
+	// Deterministic merge: a second identical run snapshots identically.
+	reg2, _ := run()
+	if !reflect.DeepEqual(reg.Snapshot(), reg2.Snapshot()) {
+		t.Error("two identical parallel runs produced different merged snapshots")
+	}
+}
+
+// TestTraceWarmup checks the observed warm-up curve: monotone distinct
+// pages, fill point consistent with Run, and sane hit rates.
+func TestTraceWarmup(t *testing.T) {
+	levels, _ := fixtureLevels(t, 2000, 20)
+	cfg := Config{BufferSize: 50, Batches: 2, BatchSize: 1000, Seed: 42}
+	tr, err := TraceWarmup(levels, UniformPoints{}, cfg, []int{10, 100, 100, 1000, -5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Points) != 3 {
+		t.Fatalf("got %d points, want 3 (sorted, deduped, positives only): %+v", len(tr.Points), tr.Points)
+	}
+	prev := 0
+	for _, pt := range tr.Points {
+		if pt.DistinctPages < prev {
+			t.Errorf("distinct pages decreased: %+v", tr.Points)
+		}
+		prev = pt.DistinctPages
+		if pt.HitRate < 0 || pt.HitRate > 1 {
+			t.Errorf("hit rate %v outside [0,1]", pt.HitRate)
+		}
+	}
+	if tr.FillQueries == 0 {
+		t.Error("buffer of 50 pages never filled in 1000 queries (suspicious)")
+	}
+	// The trace replays replica 0's stream, so its fill point equals the
+	// simulator's FillQueries for the same config.
+	res, err := Run(levels, UniformPoints{}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FillQueries != tr.FillQueries {
+		t.Errorf("trace fill %d != simulator fill %d", tr.FillQueries, res.FillQueries)
+	}
+	if _, err := TraceWarmup(levels, UniformPoints{}, cfg, []int{0, -1}); err == nil {
+		t.Error("all-nonpositive counts accepted")
+	}
+}

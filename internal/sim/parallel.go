@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"rtreebuf/internal/geom"
+	"rtreebuf/internal/obs"
 	"rtreebuf/internal/stats"
 )
 
@@ -62,8 +63,18 @@ func RunPreparedParallel(g *Geometry, w Workload, cfg Config) (Result, error) {
 
 	// Each replica writes only its own slot; the WaitGroup is the only
 	// synchronization, so no lock is ever held across simulation work.
+	// When metrics are enabled each replica also gets a private registry
+	// — merged below in replica order, so the collected series are
+	// deterministic for a fixed (Seed, Workers) despite the concurrency.
 	results := make([]replicaResult, workers) //lint:allow hotalloc per-run result slots, one per replica
 	errs := make([]error, workers)            //lint:allow hotalloc per-run result slots, one per replica
+	var regs []*obs.Registry
+	if cfg.Metrics != nil {
+		regs = make([]*obs.Registry, workers) //lint:allow hotalloc per-run registry slots, one per replica
+		for r := range regs {
+			regs[r] = obs.NewRegistry()
+		}
+	}
 	var wg sync.WaitGroup
 	for r := 0; r < workers; r++ {
 		batches := cfg.Batches / workers
@@ -73,7 +84,11 @@ func RunPreparedParallel(g *Geometry, w Workload, cfg Config) (Result, error) {
 		wg.Add(1)
 		go func(r, batches int) { //lint:allow hotalloc one goroutine closure per replica
 			defer wg.Done()
-			results[r], errs[r] = runReplica(g, w, cfg, r, batches)
+			rcfg := cfg
+			if regs != nil {
+				rcfg.Metrics = regs[r]
+			}
+			results[r], errs[r] = runReplica(g, w, rcfg, r, batches)
 		}(r, batches)
 	}
 	wg.Wait()
@@ -81,6 +96,9 @@ func RunPreparedParallel(g *Geometry, w Workload, cfg Config) (Result, error) {
 		if err != nil {
 			return Result{}, err
 		}
+	}
+	for _, reg := range regs {
+		cfg.Metrics.Merge(reg)
 	}
 
 	diskBatch := make([]float64, 0, cfg.Batches) //lint:allow hotalloc per-run merge of replica batch means
@@ -96,6 +114,7 @@ func RunPreparedParallel(g *Geometry, w Workload, cfg Config) (Result, error) {
 	if nodes > 0 {
 		hitRatio = float64(nodes-disk) / float64(nodes)
 	}
+	cfg.Metrics.Gauge("sim_hit_ratio").Set(hitRatio)
 	return Result{
 		DiskPerQuery:  stats.BatchMeans(diskBatch, cfg.Confidence),
 		NodesPerQuery: stats.BatchMeans(nodeBatch, cfg.Confidence),

@@ -25,6 +25,7 @@ import (
 
 	"rtreebuf/internal/buffer"
 	"rtreebuf/internal/geom"
+	"rtreebuf/internal/obs"
 	"rtreebuf/internal/stats"
 )
 
@@ -149,6 +150,15 @@ type Config struct {
 	// over; Run ignores it. Zero selects runtime.NumCPU; 1 makes
 	// RunParallel identical to Run.
 	Workers int
+	// Metrics, when non-nil, receives observability counters: query
+	// counts, per-query node-access histograms, buffer hit/miss/evict
+	// series (per policy and per tree level), and the observed fill
+	// point. Metrics never feed back into the simulation — results are
+	// byte-identical with or without a registry attached. RunParallel
+	// gives each replica a private registry and merges them in replica
+	// order after the join, so enabling metrics adds no locking to the
+	// query loop.
+	Metrics *obs.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -203,6 +213,17 @@ type Geometry struct {
 	idx      *pointIndex
 }
 
+// numLevels returns how many tree levels the geometry spans.
+func (g *Geometry) numLevels() int {
+	n := 0
+	for _, lvl := range g.levelOf {
+		if lvl+1 > n {
+			n = lvl + 1
+		}
+	}
+	return n
+}
+
 // Prepare flattens the tree geometry (levels of node MBRs, root first)
 // under the workload and builds the candidate index.
 func Prepare(levels [][]geom.Rect, w Workload) (*Geometry, error) {
@@ -252,6 +273,12 @@ func (c Config) newPolicy(g *Geometry) (buffer.Policy, error) {
 		lru = c.Policy(c.BufferSize, m)
 	} else {
 		lru = buffer.NewLRU(c.BufferSize, m)
+	}
+	if c.Metrics != nil {
+		// Attach the obs mirror before pinning so pin faults are
+		// mirrored too.
+		lru.SetMetrics(buffer.NewMetrics(c.Metrics, buffer.PolicyName(lru)).
+			WithLevels(g.levelOf, g.numLevels()))
 	}
 	if c.PinLevels > 0 {
 		for page := 0; page < m; page++ {
@@ -314,12 +341,20 @@ func runReplica(g *Geometry, w Workload, cfg Config, replica, batches int) (repl
 		return accesses, misses
 	}
 
+	// Obs handles; nil (free no-ops) when no registry is attached.
+	var (
+		warmupQueries  = cfg.Metrics.Counter("sim_warmup_queries_total")
+		queriesTotal   = cfg.Metrics.Counter("sim_queries_total")
+		queryNodesHist = cfg.Metrics.Histogram("sim_query_nodes")
+	)
+
 	rr := replicaResult{
 		diskBatch: make([]float64, batches), //lint:allow hotalloc per-replica batch accumulators
 		nodeBatch: make([]float64, batches), //lint:allow hotalloc per-replica batch accumulators
 	}
 	for q := 1; q <= cfg.Warmup; q++ {
 		runQuery()
+		warmupQueries.Inc()
 		if rr.fill == 0 && lru.Full() {
 			rr.fill = q
 		}
@@ -332,6 +367,8 @@ func runReplica(g *Geometry, w Workload, cfg Config, replica, batches int) (repl
 			a, m := runQuery()
 			nodes += a
 			disk += m
+			queriesTotal.Inc()
+			queryNodesHist.Observe(float64(a))
 		}
 		rr.diskBatch[b] = float64(disk) / float64(cfg.BatchSize)
 		rr.nodeBatch[b] = float64(nodes) / float64(cfg.BatchSize)
@@ -339,6 +376,12 @@ func runReplica(g *Geometry, w Workload, cfg Config, replica, batches int) (repl
 		rr.nodes += nodes
 	}
 	rr.hitRatio = lru.HitRatio()
+	if replica == 0 {
+		// The observed buffer-fill point N̂* — the empirical counterpart
+		// of the analytic N* — is replica 0's observation, matching
+		// Result.FillQueries.
+		cfg.Metrics.Gauge("sim_fill_query").Set(float64(rr.fill))
+	}
 	return rr, nil
 }
 
@@ -371,6 +414,7 @@ func RunPrepared(g *Geometry, w Workload, cfg Config) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	cfg.Metrics.Gauge("sim_hit_ratio").Set(rr.hitRatio)
 	return Result{
 		DiskPerQuery:  stats.BatchMeans(rr.diskBatch, cfg.Confidence),
 		NodesPerQuery: stats.BatchMeans(rr.nodeBatch, cfg.Confidence),

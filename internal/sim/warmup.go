@@ -1,0 +1,123 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"rtreebuf/internal/geom"
+)
+
+// WarmupPoint is one sample of the observed warm-up curve: after Queries
+// cold-start queries, DistinctPages distinct node pages have been
+// accessed (the empirical D̂(N) counterpart of the model's D(N) curve)
+// and Misses buffer misses have occurred.
+type WarmupPoint struct {
+	Queries       int
+	DistinctPages int     // D̂(N): distinct node pages accessed so far
+	Misses        uint64  // cumulative buffer misses
+	HitRate       float64 // cumulative hit rate over the first Queries queries
+}
+
+// WarmupTrace is the measured warm-up behaviour of one (geometry,
+// workload, buffer size) combination, for side-by-side comparison with
+// the analytic warm-up curve (core.Predictor.WarmupCurve) and fill point
+// N* (core.Predictor.WarmupQueries).
+type WarmupTrace struct {
+	BufferSize  int
+	FillQueries int // N̂*: first query at which the buffer was full (0 = never filled)
+	Points      []WarmupPoint
+}
+
+// TraceWarmup runs queryCounts[len-1] queries against a cold buffer —
+// replica 0's exact stream, so the trace matches what Run warms up
+// through — sampling the distinct-pages count, cumulative misses, and
+// hit rate at each count in queryCounts. Counts are sorted and deduped;
+// non-positive counts are dropped.
+func TraceWarmup(levels [][]geom.Rect, w Workload, cfg Config, queryCounts []int) (WarmupTrace, error) {
+	cfg = cfg.withDefaults()
+	if cfg.BufferSize < 1 {
+		return WarmupTrace{}, fmt.Errorf("sim: buffer size %d < 1", cfg.BufferSize)
+	}
+	counts := make([]int, 0, len(queryCounts))
+	for _, n := range queryCounts {
+		if n > 0 {
+			counts = append(counts, n)
+		}
+	}
+	sort.Ints(counts)
+	counts = dedupInts(counts)
+	if len(counts) == 0 {
+		return WarmupTrace{}, fmt.Errorf("sim: no positive query counts to trace")
+	}
+
+	g, err := prepare(levels, w, !cfg.BruteForce)
+	if err != nil {
+		return WarmupTrace{}, err
+	}
+	lru, err := cfg.newPolicy(g)
+	if err != nil {
+		return WarmupTrace{}, err
+	}
+	rng := replicaStream(cfg.Seed, 0)
+	useIdx := g.idx != nil && !cfg.BruteForce
+	m := len(g.hitRects)
+
+	seen := make([]bool, m)
+	distinct := 0
+	touch := func(page int) {
+		if !seen[page] {
+			seen[page] = true
+			distinct++
+		}
+		lru.Access(page)
+	}
+
+	tr := WarmupTrace{BufferSize: cfg.BufferSize}
+	var scratch []int32
+	next := 0
+	for q := 1; q <= counts[len(counts)-1]; q++ {
+		p := w.Next(rng)
+		if useIdx {
+			scratch = g.idx.candidates(p, scratch[:0])
+			for _, page := range scratch {
+				if g.hitRects[page].ContainsPoint(p) {
+					touch(int(page))
+				}
+			}
+		} else {
+			for page := 0; page < m; page++ {
+				if g.hitRects[page].ContainsPoint(p) {
+					touch(page)
+				}
+			}
+		}
+		if tr.FillQueries == 0 && lru.Full() {
+			tr.FillQueries = q
+		}
+		if q == counts[next] {
+			hits, misses, _ := lru.Stats()
+			pt := WarmupPoint{Queries: q, DistinctPages: distinct, Misses: misses}
+			if total := hits + misses; total > 0 {
+				pt.HitRate = float64(hits) / float64(total)
+			}
+			tr.Points = append(tr.Points, pt)
+			next++
+		}
+	}
+
+	if cfg.Metrics != nil {
+		cfg.Metrics.Gauge("sim_observed_fill_query").Set(float64(tr.FillQueries))
+		cfg.Metrics.Gauge("sim_observed_distinct_pages").Set(float64(distinct))
+	}
+	return tr, nil
+}
+
+func dedupInts(sorted []int) []int {
+	out := sorted[:0]
+	for i, v := range sorted {
+		if i == 0 || v != sorted[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -59,6 +59,7 @@ type MemoryManager struct {
 	pages    [][]byte
 	meta     []byte
 	stats    IOStats
+	metrics  *Metrics
 	closed   bool
 }
 
@@ -89,6 +90,7 @@ func (m *MemoryManager) ReadPage(page int, dst []byte) error {
 	}
 	copy(dst, m.pages[page])
 	m.stats.Reads++
+	m.metrics.noteRead(m.pageSize)
 	return nil
 }
 
@@ -108,6 +110,7 @@ func (m *MemoryManager) WritePage(page int, data []byte) error {
 	}
 	copy(m.pages[page], data)
 	m.stats.Writes++
+	m.metrics.noteWrite(m.pageSize)
 	return nil
 }
 
@@ -171,6 +174,7 @@ type FileManager struct {
 	numPages int
 	meta     []byte
 	stats    IOStats
+	metrics  *Metrics
 	hdrDirty bool // in-memory numPages is ahead of the on-disk header
 }
 
@@ -294,6 +298,7 @@ func (fm *FileManager) ReadPage(page int, dst []byte) error {
 		return fmt.Errorf("storage: reading page %d: %w", page, err)
 	}
 	fm.stats.Reads++
+	fm.metrics.noteRead(fm.pageSize)
 	return nil
 }
 
@@ -309,6 +314,7 @@ func (fm *FileManager) WritePage(page int, data []byte) error {
 		return fmt.Errorf("storage: writing page %d: %w", page, err)
 	}
 	fm.stats.Writes++
+	fm.metrics.noteWrite(fm.pageSize)
 	if page >= fm.numPages {
 		fm.numPages = page + 1
 		fm.hdrDirty = true
@@ -327,6 +333,7 @@ func (fm *FileManager) Flush() error {
 	if err := fm.f.Sync(); err != nil {
 		return fmt.Errorf("storage: syncing pages before header update: %w", err)
 	}
+	fm.metrics.noteFsync()
 	if err := fm.writeHeader(); err != nil {
 		return err
 	}
@@ -345,6 +352,7 @@ func (fm *FileManager) WriteMeta(meta []byte) error {
 			fm.meta = old
 			return fmt.Errorf("storage: syncing pages before header update: %w", err)
 		}
+		fm.metrics.noteFsync()
 	}
 	if err := fm.writeHeader(); err != nil {
 		fm.meta = old
@@ -376,5 +384,6 @@ func (fm *FileManager) Close() error {
 		_ = fm.f.Close() // the sync failure is the one worth reporting
 		return fmt.Errorf("storage: syncing: %w", err)
 	}
+	fm.metrics.noteFsync()
 	return fm.f.Close()
 }

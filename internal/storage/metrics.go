@@ -1,0 +1,143 @@
+package storage
+
+import "rtreebuf/internal/obs"
+
+// Metrics mirrors storage-layer events into an obs.Registry: physical
+// page transfers (count and bytes), fsyncs, the resilience layer's
+// retry outcomes, injected faults by kind, and scrub findings. Like the
+// buffer mirror it is purely additive — the result-bearing IOStats /
+// RetryStats / FaultStats structs stay the source of truth, the obs
+// series are cumulative shadows — and a nil *Metrics disables every
+// method at the cost of one branch (zero allocations, guarded by
+// BenchmarkObsDisabled).
+type Metrics struct {
+	reads      *obs.Counter
+	writes     *obs.Counter
+	readBytes  *obs.Counter
+	writeBytes *obs.Counter
+	fsyncs     *obs.Counter
+
+	retries    *obs.Counter
+	recoveries *obs.Counter
+	giveups    *obs.Counter
+
+	faultTransientReads  *obs.Counter
+	faultTransientWrites *obs.Counter
+	faultPermanentReads  *obs.Counter
+	faultTornWrites      *obs.Counter
+	faultCrashedOps      *obs.Counter
+
+	scrubPages  *obs.Counter
+	scrubFaults *obs.Counter
+}
+
+// NewMetrics registers the storage counter families in reg. A nil
+// registry returns a nil (disabled) Metrics. Multiple managers may share
+// one Metrics; the series then aggregate across them.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	if reg == nil {
+		return nil
+	}
+	kind := func(k string) obs.Label { return obs.L("kind", k) }
+	return &Metrics{
+		reads:      reg.Counter("storage_page_reads_total"),
+		writes:     reg.Counter("storage_page_writes_total"),
+		readBytes:  reg.Counter("storage_read_bytes_total"),
+		writeBytes: reg.Counter("storage_write_bytes_total"),
+		fsyncs:     reg.Counter("storage_fsyncs_total"),
+
+		retries:    reg.Counter("storage_retries_total"),
+		recoveries: reg.Counter("storage_retry_recoveries_total"),
+		giveups:    reg.Counter("storage_retry_giveups_total"),
+
+		faultTransientReads:  reg.Counter("storage_faults_injected_total", kind("transient_read")),
+		faultTransientWrites: reg.Counter("storage_faults_injected_total", kind("transient_write")),
+		faultPermanentReads:  reg.Counter("storage_faults_injected_total", kind("permanent_read")),
+		faultTornWrites:      reg.Counter("storage_faults_injected_total", kind("torn_write")),
+		faultCrashedOps:      reg.Counter("storage_faults_injected_total", kind("crashed_op")),
+
+		scrubPages:  reg.Counter("storage_scrub_pages_total"),
+		scrubFaults: reg.Counter("storage_scrub_faults_total"),
+	}
+}
+
+func (m *Metrics) noteRead(bytes int) {
+	if m == nil {
+		return
+	}
+	m.reads.Inc()
+	m.readBytes.Add(uint64(bytes))
+}
+
+func (m *Metrics) noteWrite(bytes int) {
+	if m == nil {
+		return
+	}
+	m.writes.Inc()
+	m.writeBytes.Add(uint64(bytes))
+}
+
+func (m *Metrics) noteFsync() {
+	if m == nil {
+		return
+	}
+	m.fsyncs.Inc()
+}
+
+func (m *Metrics) noteRetry() {
+	if m == nil {
+		return
+	}
+	m.retries.Inc()
+}
+
+func (m *Metrics) noteRecovery() {
+	if m == nil {
+		return
+	}
+	m.recoveries.Inc()
+}
+
+func (m *Metrics) noteGiveup() {
+	if m == nil {
+		return
+	}
+	m.giveups.Inc()
+}
+
+// Record mirrors a scrub pass into the metrics: pages scanned and faults
+// found. Call it once per Scrub; nil-safe.
+func (r ScrubReport) Record(m *Metrics) {
+	if m == nil {
+		return
+	}
+	m.scrubPages.Add(uint64(r.Pages))
+	m.scrubFaults.Add(uint64(len(r.Faults)))
+	if r.MetaErr != nil {
+		m.scrubFaults.Inc()
+	}
+}
+
+// SetManagerMetrics attaches m to dm and, for the wrapping managers
+// (resilient, fault), descends into the wrapped manager too, so one call
+// instruments a whole stack. Managers of unknown type are skipped.
+func SetManagerMetrics(dm DiskManager, m *Metrics) {
+	for dm != nil {
+		switch v := dm.(type) {
+		case *MemoryManager:
+			v.metrics = m
+			return
+		case *FileManager:
+			v.metrics = m
+			return
+		case *ResilientManager:
+			v.metrics = m
+			dm = v.inner
+		case *FaultManager:
+			v.metrics = m
+			dm = v.inner
+		default:
+			return
+		}
+	}
+}

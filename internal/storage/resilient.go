@@ -34,6 +34,7 @@ type ResilientManager struct {
 	sleep      func(time.Duration)
 	verify     bool
 	stats      RetryStats
+	metrics    *Metrics
 }
 
 // ResilientOption configures a ResilientManager.
@@ -98,6 +99,7 @@ func (r *ResilientManager) retry(op func() error) error {
 		if err == nil {
 			if attempt > 0 {
 				r.stats.Recoveries++
+				r.metrics.noteRecovery()
 			}
 			return nil
 		}
@@ -106,9 +108,11 @@ func (r *ResilientManager) retry(op func() error) error {
 		}
 		if attempt >= r.maxRetries {
 			r.stats.Giveups++
+			r.metrics.noteGiveup()
 			return fmt.Errorf("storage: gave up after %d retries: %w", r.maxRetries, err)
 		}
 		r.stats.Retries++
+		r.metrics.noteRetry()
 		r.sleep(delay)
 		if delay *= 2; delay > r.maxDelay {
 			delay = r.maxDelay
@@ -128,6 +132,7 @@ func (r *ResilientManager) readRetry(page int, dst []byte) error {
 		if err == nil {
 			if attempt > 0 {
 				r.stats.Recoveries++
+				r.metrics.noteRecovery()
 			}
 			return nil
 		}
@@ -136,9 +141,11 @@ func (r *ResilientManager) readRetry(page int, dst []byte) error {
 		}
 		if attempt >= r.maxRetries {
 			r.stats.Giveups++
+			r.metrics.noteGiveup()
 			return fmt.Errorf("storage: gave up after %d retries: %w", r.maxRetries, err)
 		}
 		r.stats.Retries++
+		r.metrics.noteRetry()
 		r.sleep(delay)
 		if delay *= 2; delay > r.maxDelay {
 			delay = r.maxDelay
@@ -168,14 +175,17 @@ func (r *ResilientManager) ReadPage(page int, dst []byte) error {
 	// second read verifies; if the medium itself is corrupt this fails
 	// identically and the caller gets the checksum error.
 	r.stats.Retries++
+	r.metrics.noteRetry()
 	if err := r.readRetry(page, dst); err != nil {
 		return err
 	}
 	if err := VerifyPage(dst[:r.inner.PageSize()]); err != nil {
 		r.stats.Giveups++
+		r.metrics.noteGiveup()
 		return fmt.Errorf("storage: page %d corrupt after re-read: %w", page, err)
 	}
 	r.stats.Recoveries++
+	r.metrics.noteRecovery()
 	return nil
 }
 
