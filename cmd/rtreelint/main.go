@@ -13,12 +13,19 @@
 //
 //	-root dir        module root to analyze (default: nearest go.mod upward)
 //	-list            list the analyzers and their target packages, then exit
+//	-only names      run only the named analyzers (comma-separated)
+//	-skip names      run all but the named analyzers (comma-separated)
 //	-json            emit findings as a JSON array on stdout
+//	-sarif file      also write findings as SARIF 2.1.0 (GitHub code scanning)
 //	-facts name      dump the call-graph facts for matching functions, then exit
 //	                 (name forms: "Get", "(*Pool).Get", "buffer.(*Pool).Get")
 //	-baseline file   accepted-findings file (default: <root>/.rtreelint-baseline
 //	                 when present); baselined findings are reported but not fatal
+//	-no-baseline     enforcing mode: ignore any baseline file (for nightly CI)
 //	-write-baseline  rewrite the baseline file to accept all current findings
+//
+// Unknown analyzer names in -only/-skip are an error (exit 2): a typo must
+// not silently disable a check.
 //
 // The package patterns on the command line are accepted for familiarity
 // ("./...") but the whole module is always loaded; per-package analyzers
@@ -32,6 +39,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"rtreebuf/internal/analysis"
 )
@@ -42,13 +50,20 @@ const defaultBaseline = ".rtreelint-baseline"
 func main() {
 	root := flag.String("root", "", "module root to analyze (default: nearest go.mod upward from the working directory)")
 	list := flag.Bool("list", false, "list analyzers and exit")
+	only := flag.String("only", "", "run only these `analyzers` (comma-separated)")
+	skip := flag.String("skip", "", "run all but these `analyzers` (comma-separated)")
 	jsonOut := flag.Bool("json", false, "emit findings as JSON on stdout")
+	sarifPath := flag.String("sarif", "", "also write findings as SARIF 2.1.0 to `file`")
 	factsOf := flag.String("facts", "", "dump call-graph facts for functions matching `name` and exit")
 	baselinePath := flag.String("baseline", "", "baseline `file` of accepted findings (default: <root>/"+defaultBaseline+" if present)")
+	noBaseline := flag.Bool("no-baseline", false, "enforcing mode: ignore any baseline file")
 	writeBaseline := flag.Bool("write-baseline", false, "rewrite the baseline file accepting all current findings")
 	flag.Parse()
 
-	analyzers := analysis.Analyzers()
+	analyzers, err := selectAnalyzers(analysis.Analyzers(), *only, *skip)
+	if err != nil {
+		fatal(err)
+	}
 	if *list {
 		for _, a := range analyzers {
 			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
@@ -87,10 +102,13 @@ func main() {
 	findings := analysis.Run(pkgs, analyzers)
 
 	bpath := *baselinePath
-	if bpath == "" {
+	if bpath == "" && !*noBaseline {
 		if p := filepath.Join(dir, defaultBaseline); fileExists(p) {
 			bpath = p
 		}
+	}
+	if *noBaseline {
+		bpath = ""
 	}
 	if *writeBaseline {
 		if bpath == "" {
@@ -110,13 +128,18 @@ func main() {
 	var fresh []analysis.Finding
 	baselined := 0
 	for _, f := range findings {
-		if baseline.Has(analysis.BaselineKey(dir, f)) {
+		if baseline.Match(dir, f) {
 			baselined++
 		} else {
 			fresh = append(fresh, f)
 		}
 	}
 
+	if *sarifPath != "" {
+		if err := writeSARIFFile(*sarifPath, dir, analyzers, fresh); err != nil {
+			fatal(err)
+		}
+	}
 	if *jsonOut {
 		printJSON(fresh)
 	} else {
@@ -131,6 +154,73 @@ func main() {
 		fmt.Fprintf(os.Stderr, "rtreelint: %d finding(s)\n", len(fresh))
 		os.Exit(1)
 	}
+}
+
+// selectAnalyzers applies the -only/-skip filters. An unknown name is an
+// error rather than a no-op, so a typo cannot silently disable a check.
+func selectAnalyzers(all []*analysis.Analyzer, only, skip string) ([]*analysis.Analyzer, error) {
+	if only != "" && skip != "" {
+		return nil, fmt.Errorf("-only and -skip are mutually exclusive")
+	}
+	known := make(map[string]bool, len(all))
+	for _, a := range all {
+		known[a.Name] = true
+	}
+	parse := func(flagName, list string) (map[string]bool, error) {
+		names := make(map[string]bool)
+		for _, name := range strings.Split(list, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			if !known[name] {
+				return nil, fmt.Errorf("%s: unknown analyzer %q (run -list for the set)", flagName, name)
+			}
+			names[name] = true
+		}
+		return names, nil
+	}
+	switch {
+	case only != "":
+		names, err := parse("-only", only)
+		if err != nil {
+			return nil, err
+		}
+		var out []*analysis.Analyzer
+		for _, a := range all {
+			if names[a.Name] {
+				out = append(out, a)
+			}
+		}
+		return out, nil
+	case skip != "":
+		names, err := parse("-skip", skip)
+		if err != nil {
+			return nil, err
+		}
+		var out []*analysis.Analyzer
+		for _, a := range all {
+			if !names[a.Name] {
+				out = append(out, a)
+			}
+		}
+		return out, nil
+	}
+	return all, nil
+}
+
+// writeSARIFFile writes the findings as a SARIF log for code-scanning
+// upload.
+func writeSARIFFile(path, root string, analyzers []*analysis.Analyzer, findings []analysis.Finding) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := analysis.WriteSARIF(f, root, analyzers, findings); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // jsonFinding is the machine-readable finding shape for -json consumers

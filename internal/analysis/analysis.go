@@ -145,6 +145,21 @@ func Analyzers() []*Analyzer {
 			Doc:         "simulation/model roots transitively reach disk or OS I/O",
 			CheckModule: func(m *Module) []Finding { return checkIOPurity(m, PureRoots()) },
 		},
+		{
+			Name:        "sharecheck",
+			Doc:         "variable captured by a goroutine mutated on both sides of the spawn without a guard",
+			CheckModule: checkShare,
+		},
+		{
+			Name:        "determcheck",
+			Doc:         "nondeterminism source (map order, time, global rand) reachable from a result root",
+			CheckModule: func(m *Module) []Finding { return checkDeterm(m, DetermRoots()) },
+		},
+		{
+			Name:        "atomiccheck",
+			Doc:         "field accessed both atomically and plainly with no lock dominating the atomic sites",
+			CheckModule: checkAtomic,
+		},
 	}
 }
 

@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"fmt"
+	"hash/fnv"
 	"os"
 	"path/filepath"
 	"sort"
@@ -12,25 +13,74 @@ import (
 // a new analyzer can land (and gate CI) before every pre-existing finding
 // is fixed. The file format is one finding per line,
 //
-//	relative/path.go: analyzer: message
+//	relative/path.go: analyzer[fnv32a-of-message]: message
 //
 // with '#' comments and blank lines ignored. Keys deliberately omit
 // line/column numbers: unrelated edits above a baselined finding must not
 // un-baseline it. The flip side — moving a baselined finding to another
 // message or file resurfaces it — is the desired behaviour.
+//
+// Matching uses the (file, analyzer, hash) triple; the message after the
+// bracket is carried for the human reading the file and ignored when
+// matching, so messages containing ": " never make a key ambiguous. Lines
+// in the pre-hash legacy format ("path: analyzer: message") still match:
+// they are compared as whole lines against the legacy rendering of each
+// finding.
 type Baseline struct {
 	path string
 	keys map[string]bool
 }
 
 // BaselineKey renders a finding as its baseline-file line, with the file
-// path relative to the module root.
+// path relative to the module root and the analyzer name tagged with a
+// short hash of the message.
 func BaselineKey(root string, f Finding) string {
+	return fmt.Sprintf("%s: %s[%08x]: %s", baselineFile(root, f), f.Analyzer, messageHash(f.Message), f.Message)
+}
+
+// legacyBaselineKey renders the pre-hash key format, used to match
+// baseline files written before the format change.
+func legacyBaselineKey(root string, f Finding) string {
+	return fmt.Sprintf("%s: %s: %s", baselineFile(root, f), f.Analyzer, f.Message)
+}
+
+func baselineFile(root string, f Finding) string {
 	name := f.Pos.Filename
 	if rel, err := filepath.Rel(root, name); err == nil && !strings.HasPrefix(rel, "..") {
 		name = filepath.ToSlash(rel)
 	}
-	return fmt.Sprintf("%s: %s: %s", name, f.Analyzer, f.Message)
+	return name
+}
+
+func messageHash(msg string) uint32 {
+	h := fnv.New32a()
+	h.Write([]byte(msg))
+	return h.Sum32()
+}
+
+// matchForm reduces a key or baseline line to the form used for set
+// membership: hashed keys match on "file: analyzer[hash]" (the trailing
+// message is display-only), legacy lines match whole.
+func matchForm(key string) string {
+	if i := hashEnd(key); i >= 0 {
+		return key[:i+1]
+	}
+	return key
+}
+
+// hashEnd returns the index of ']' in the first "[8-hex]: " marker, or -1
+// for a legacy-format key.
+func hashEnd(key string) int {
+	i := strings.Index(key, "]: ")
+	if i < 9 || key[i-9] != '[' {
+		return -1
+	}
+	for _, c := range key[i-8 : i] {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return -1
+		}
+	}
+	return i
 }
 
 // LoadBaseline reads a baseline file. A missing file is an error; pass
@@ -49,14 +99,20 @@ func LoadBaseline(path string) (*Baseline, error) {
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
 		}
-		b.keys[line] = true
+		b.keys[matchForm(line)] = true
 	}
 	return b, nil
 }
 
 // Has reports whether the finding key is baselined. A nil baseline
 // accepts nothing.
-func (b *Baseline) Has(key string) bool { return b != nil && b.keys[key] }
+func (b *Baseline) Has(key string) bool { return b != nil && b.keys[matchForm(key)] }
+
+// Match reports whether the finding is baselined, accepting entries in
+// either the current hashed format or the legacy whole-line format.
+func (b *Baseline) Match(root string, f Finding) bool {
+	return b.Has(BaselineKey(root, f)) || b.Has(legacyBaselineKey(root, f))
+}
 
 // Len returns the number of baselined findings.
 func (b *Baseline) Len() int {
@@ -81,7 +137,8 @@ func WriteBaseline(path, root string, findings []Finding) error {
 	sort.Strings(keys)
 	var sb strings.Builder
 	sb.WriteString("# rtreelint baseline: accepted findings, one per line\n")
-	sb.WriteString("# (file: analyzer: message — no line numbers, so edits elsewhere don't invalidate entries).\n")
+	sb.WriteString("# (file: analyzer[message-hash]: message — no line numbers, so edits elsewhere\n")
+	sb.WriteString("# don't invalidate entries; matching uses file, analyzer, and hash only).\n")
 	sb.WriteString("# Regenerate with: go run ./cmd/rtreelint -write-baseline\n")
 	sb.WriteString("# Shrink it over time; never grow it without a review.\n")
 	for _, k := range keys {

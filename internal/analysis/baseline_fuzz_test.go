@@ -1,0 +1,58 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// FuzzReadBaseline drives arbitrary bytes through the baseline parser and
+// checks its invariants: any readable file parses without error, every
+// non-comment line is queryable back through Has with the raw line, the
+// key count never exceeds the content-line count, and loading is
+// idempotent. The parser sits between CI and a repository-controlled
+// file, so it must be total over junk input (merge-conflict markers,
+// truncated lines, binary garbage).
+func FuzzReadBaseline(f *testing.F) {
+	f.Add("")
+	f.Add("# just a comment\n")
+	f.Add("a/b.go: lockcheck: mu held across call\n")
+	f.Add("a/b.go: lockcheck[1a2b3c4d]: mu held across call\n")
+	f.Add("a/b.go: lockcheck[1a2b3c4d]: \n# trailing comment")
+	f.Add("no colons at all\n\n\n")
+	f.Add("<<<<<<< HEAD\nx.go: errcheck: dropped\n=======\n")
+	f.Add("x.go: a[zzzzzzzz]: not hex\n")
+	f.Add("\x00\xff binary junk [0123abcd]: tail")
+	f.Fuzz(func(t *testing.T, data string) {
+		path := filepath.Join(t.TempDir(), "baseline")
+		if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+			t.Skip("unwritable input")
+		}
+		b, err := LoadBaseline(path)
+		if err != nil {
+			t.Fatalf("LoadBaseline on readable file: %v", err)
+		}
+		content := 0
+		for _, line := range strings.Split(data, "\n") {
+			line = strings.TrimSpace(line)
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			content++
+			if !b.Has(line) {
+				t.Errorf("line %q not queryable after load", line)
+			}
+		}
+		if b.Len() > content {
+			t.Errorf("Len() = %d > %d content lines", b.Len(), content)
+		}
+		b2, err := LoadBaseline(path)
+		if err != nil {
+			t.Fatalf("second load: %v", err)
+		}
+		if b2.Len() != b.Len() {
+			t.Errorf("reload changed key count: %d != %d", b2.Len(), b.Len())
+		}
+	})
+}

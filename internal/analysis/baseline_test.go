@@ -2,7 +2,9 @@ package analysis
 
 import (
 	"go/token"
+	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -44,6 +46,80 @@ func TestBaselineRoundTrip(t *testing.T) {
 	changed.Message = "mu held across other call"
 	if b.Has(BaselineKey(root, changed)) {
 		t.Error("a changed message must not stay baselined")
+	}
+}
+
+// TestBaselineLegacyMigration reads a baseline file hand-written in the
+// pre-hash format ("path: analyzer: message") and asserts Match still
+// accepts the corresponding findings: repositories carry baseline files
+// across tool upgrades, so the old format must keep working unchanged.
+func TestBaselineLegacyMigration(t *testing.T) {
+	root := t.TempDir()
+	path := filepath.Join(root, ".rtreelint-baseline")
+	legacy := "# legacy-format baseline\n" +
+		"a/b.go: lockcheck: mu held across call\n" +
+		"a/c.go: hotalloc: make([]int) in hot function\n"
+	if err := os.WriteFile(path, []byte(legacy), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	b, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 2 {
+		t.Fatalf("baseline has %d keys, want 2", b.Len())
+	}
+	held := Finding{Pos: token.Position{Filename: filepath.Join(root, "a", "b.go"), Line: 7, Column: 2}, Analyzer: "lockcheck", Message: "mu held across call"}
+	alloc := Finding{Pos: token.Position{Filename: filepath.Join(root, "a", "c.go"), Line: 3, Column: 1}, Analyzer: "hotalloc", Message: "make([]int) in hot function"}
+	for _, f := range []Finding{held, alloc} {
+		if !b.Match(root, f) {
+			t.Errorf("legacy baseline entry does not match finding %s", f)
+		}
+		// The new-format key alone must NOT match a legacy file (Has takes
+		// raw keys; migration happens only through Match).
+		if b.Has(BaselineKey(root, f)) {
+			t.Errorf("hashed key unexpectedly present in legacy file for %s", f)
+		}
+	}
+	other := held
+	other.Message = "mu held across other call"
+	if b.Match(root, other) {
+		t.Error("a different message must not match a legacy entry")
+	}
+	// And the converse: a new-format file matches via Match as well.
+	if err := WriteBaseline(path, root, []Finding{held}); err != nil {
+		t.Fatal(err)
+	}
+	if b, err = LoadBaseline(path); err != nil {
+		t.Fatal(err)
+	}
+	if !b.Match(root, held) {
+		t.Error("hashed-format baseline entry does not match its finding")
+	}
+	if b.Match(root, other) {
+		t.Error("hashed-format entry must not match a different message")
+	}
+}
+
+// TestBaselineHashedMatchIgnoresMessageTail pins the matching contract of
+// the hashed format: the message after "analyzer[hash]: " is for humans;
+// membership is decided by file, analyzer, and hash.
+func TestBaselineHashedMatchIgnoresMessageTail(t *testing.T) {
+	root := t.TempDir()
+	f := Finding{Pos: token.Position{Filename: filepath.Join(root, "x.go"), Line: 1, Column: 1}, Analyzer: "errcheck", Message: "discarded error: os.Remove"}
+	key := BaselineKey(root, f)
+	// Truncate the display message in the file; the entry must still match.
+	trimmed := key[:strings.Index(key, "]: ")+3] + "…"
+	path := filepath.Join(root, "bl")
+	if err := os.WriteFile(path, []byte(trimmed+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	b, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.Match(root, f) {
+		t.Error("hashed entry with edited message tail must still match")
 	}
 }
 

@@ -1,0 +1,65 @@
+package analysis
+
+import "fmt"
+
+// determcheck enforces the reproducibility contract of the result
+// pipeline: every byte the experiments write — simulator counters,
+// report tables, exported metrics, saved tree pages — must be a pure
+// function of the configuration and the seed. The check taints the
+// nondeterminism sources the callgraph records as FactNondet intrinsics
+// (map iteration order, time.Now/Since/Until, the global math/rand
+// stream, selects with multiple ready cases) and reports any source
+// reachable from a deterministic-result root, with the call chain as
+// witness.
+//
+// Two idioms are deliberately outside the taint: per-replica seeded
+// streams (`rand.New(rand.NewPCG(seed, replica))` — constructors and
+// Seed are not sources, only the global stream is) and the timing
+// sidecar (experiments.RunAllTimed stamps wall-clock Timings around
+// Run; Run itself is the root, so the by-design time.Now there is not
+// reachable from it).
+func checkDeterm(m *Module, roots []RootSpec) []Finding {
+	g := m.Graph
+	var rootNodes []*FuncNode
+	for _, spec := range roots {
+		rootNodes = append(rootNodes, g.Resolve(spec)...)
+	}
+	parent := g.Reachable(rootNodes)
+	var out []Finding
+	for _, n := range g.Nodes() {
+		if _, ok := parent[n]; !ok {
+			continue
+		}
+		for _, in := range n.Intrinsics {
+			if in.Fact&FactNondet == 0 {
+				continue
+			}
+			out = append(out, Finding{
+				Pos:      n.Pkg.Fset.Position(in.Pos),
+				Analyzer: "determcheck",
+				Message: fmt.Sprintf("nondeterminism source (%s) in %s is reachable from deterministic-result root: %s",
+					in.What, n, RootPath(parent, n)),
+			})
+		}
+	}
+	return out
+}
+
+// DetermRoots names the deterministic-result entry points: functions
+// whose outputs land in reports, exported metrics, or on disk, and must
+// therefore be replayable from (config, seed) alone. The guard test
+// TestDetermRootsExist keeps the list attached to real code.
+func DetermRoots() []RootSpec {
+	const mod = "rtreebuf"
+	return []RootSpec{
+		{Path: mod + "/internal/sim", Name: "Run*"},
+		{Path: mod + "/internal/sim", Name: "Transient"},
+		// experiments.Run produces the Report bytes; RunAllTimed is
+		// deliberately NOT a root — its time.Now feeds only the Timing
+		// sidecar, never the Report.
+		{Path: mod + "/internal/experiments", Name: "Run"},
+		{Path: mod + "/internal/obs", Name: "Write*"},
+		{Path: mod + "/internal/storage", Name: "SaveTree*"},
+		{Path: mod + "/internal/storage", Name: "EncodeNode"},
+	}
+}

@@ -12,7 +12,7 @@ import (
 // computed bottom-up over the call graph's strongly connected components,
 // so they are transitive: a function has doesIO if anything it can reach
 // does I/O, across package boundaries and interface dispatch.
-type FactSet uint8
+type FactSet uint16
 
 const (
 	// FactDoesIO: the function can reach a disk/OS/network operation.
@@ -24,15 +24,32 @@ const (
 	FactAcquiresLock
 	// FactAllocates: the function can allocate on the heap.
 	FactAllocates
+	// FactSpawnsGoroutine: the function can start a goroutine (a `go`
+	// statement anywhere in its transitive call tree). sharecheck uses
+	// this to treat function literals handed to spawning callees as
+	// concurrently-executing bodies.
+	FactSpawnsGoroutine
+	// FactNondet: the function can observe a nondeterminism source:
+	// map iteration order, wall-clock time (time.Now/Since/Until),
+	// the global math/rand[/v2] stream, or a multi-way select.
+	// determcheck reports where this fact reaches a result sink.
+	FactNondet
+	// FactUsesAtomic: the function can perform a sync/atomic operation.
+	// sharecheck accepts atomics (like acquiresLock) as a guard for
+	// captured-value method calls.
+	FactUsesAtomic
 
 	factEnd
 )
 
 var factNames = map[FactSet]string{
-	FactDoesIO:       "doesIO",
-	FactMayBlock:     "mayBlock",
-	FactAcquiresLock: "acquiresLock",
-	FactAllocates:    "allocates",
+	FactDoesIO:          "doesIO",
+	FactMayBlock:        "mayBlock",
+	FactAcquiresLock:    "acquiresLock",
+	FactAllocates:       "allocates",
+	FactSpawnsGoroutine: "spawnsGoroutine",
+	FactNondet:          "nondet",
+	FactUsesAtomic:      "usesAtomic",
 }
 
 // String renders the set as "doesIO|mayBlock" ("pure" when empty).
@@ -92,9 +109,26 @@ func stdFacts(fn *types.Func) (facts FactSet, acquire, release bool) {
 				return FactMayBlock, false, false
 			}
 		}
+	case path == "sync/atomic":
+		// Every package function and every method of the typed atomics
+		// (atomic.Uint64.Add, ...) is an atomic operation.
+		return FactUsesAtomic, false, false
 	case path == "time":
-		if name == "Sleep" {
+		switch name {
+		case "Sleep":
 			return FactMayBlock, false, false
+		case "Now", "Since", "Until":
+			// Wall-clock reads are nondeterminism sources for determcheck.
+			return FactNondet, false, false
+		}
+	case path == "math/rand" || path == "math/rand/v2":
+		// Package-level draw functions use the shared global stream —
+		// nondeterministic across runs and goroutine interleavings.
+		// Constructors (New, NewPCG, NewSource, ...) and methods on an
+		// explicitly seeded *Rand are the deterministic per-replica
+		// streams the simulator depends on and stay fact-free.
+		if recvBase(fn) == "" && !strings.HasPrefix(name, "New") && name != "Seed" {
+			return FactNondet, false, false
 		}
 	case path == "os" || strings.HasPrefix(path, "os/"),
 		path == "syscall" || strings.HasPrefix(path, "syscall/"),

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"go/ast"
 	"go/token"
-	"go/types"
 	"sort"
 	"strings"
 )
@@ -310,34 +309,7 @@ func (s *lockScanner) leakAcross(pos token.Pos, held map[string]*heldLock, what 
 
 // lockOp classifies a call as a direct sync.Mutex/RWMutex operation.
 func (s *lockScanner) lockOp(call *ast.CallExpr) (key, display string, acquire, release, ok bool) {
-	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
-	if !isSel {
-		return
-	}
-	var fn *types.Func
-	if selection, found := s.pkg.Info.Selections[sel]; found {
-		fn, _ = selection.Obj().(*types.Func)
-	}
-	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
-		return
-	}
-	if base := recvBase(fn); base != "Mutex" && base != "RWMutex" {
-		return
-	}
-	expr := types.ExprString(sel.X)
-	switch fn.Name() {
-	case "Lock":
-		return expr + "/w", expr, true, false, true
-	case "Unlock":
-		return expr + "/w", expr, false, true, true
-	case "RLock":
-		return expr + "/r", expr + " (read)", true, false, true
-	case "RUnlock":
-		return expr + "/r", expr + " (read)", false, true, true
-	case "TryLock", "TryRLock":
-		return "", "", false, false, true // conditional acquire: not modelled
-	}
-	return
+	return syncLockOp(s.pkg.Info, call)
 }
 
 func copyHeld(held map[string]*heldLock) map[string]*heldLock {

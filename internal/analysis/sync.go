@@ -1,0 +1,139 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// This file holds the synchronization-awareness shared by the concurrency
+// analyzers (lockcheck, sharecheck, atomiccheck): classifying direct
+// sync.Mutex/RWMutex operations, and a lexical model of which mutexes are
+// held at a given position inside one function body.
+
+// syncLockOp classifies a call as a direct sync.Mutex/RWMutex operation.
+// key identifies the lock and mode ("s.mu/w"), display is the
+// human-readable form. TryLock/TryRLock report ok with empty key: they are
+// lock operations but their conditional acquisition is not modelled.
+func syncLockOp(info *types.Info, call *ast.CallExpr) (key, display string, acquire, release, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return
+	}
+	var fn *types.Func
+	if selection, found := info.Selections[sel]; found {
+		fn, _ = selection.Obj().(*types.Func)
+	}
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return
+	}
+	if base := recvBase(fn); base != "Mutex" && base != "RWMutex" {
+		return
+	}
+	expr := types.ExprString(sel.X)
+	switch fn.Name() {
+	case "Lock":
+		return expr + "/w", expr, true, false, true
+	case "Unlock":
+		return expr + "/w", expr, false, true, true
+	case "RLock":
+		return expr + "/r", expr + " (read)", true, false, true
+	case "RUnlock":
+		return expr + "/r", expr + " (read)", false, true, true
+	case "TryLock", "TryRLock":
+		return "", "", false, false, true // conditional acquire: not modelled
+	}
+	return
+}
+
+// lockEvent is one lexical lock-state transition inside a body.
+type lockEvent struct {
+	pos     token.Pos
+	key     string
+	acquire bool
+}
+
+// lockEvents collects the lock-state transitions of root in source order,
+// skipping nested function literals (their bodies execute at an unknown
+// time). A deferred Unlock produces no event: the lock stays held for the
+// rest of the body, which is exactly the guard semantics callers want.
+func lockEvents(info *types.Info, root ast.Node) []lockEvent {
+	var out []lockEvent
+	ast.Inspect(root, func(node ast.Node) bool {
+		switch x := node.(type) {
+		case *ast.FuncLit:
+			if x != root {
+				return false
+			}
+		case *ast.DeferStmt:
+			return false // deferred unlocks keep the lock held lexically
+		case *ast.CallExpr:
+			if key, _, acquire, release, ok := syncLockOp(info, x); ok && key != "" {
+				if acquire {
+					out = append(out, lockEvent{x.Pos(), key, true})
+				} else if release {
+					out = append(out, lockEvent{x.Pos(), key, false})
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// heldAt replays events lexically preceding pos and returns the keys of
+// the mutexes held there. The model is linear — branches are not forked —
+// which matches how this codebase writes its critical sections (lockcheck
+// separately enforces balanced paths).
+func heldAt(events []lockEvent, pos token.Pos) map[string]bool {
+	held := make(map[string]bool)
+	for _, e := range events {
+		if e.pos >= pos {
+			break
+		}
+		if e.acquire {
+			held[e.key] = true
+		} else {
+			delete(held, e.key)
+		}
+	}
+	return held
+}
+
+// intersects reports whether the two key sets share an element.
+func intersects(a, b map[string]bool) bool {
+	for k := range a {
+		if b[k] {
+			return true
+		}
+	}
+	return false
+}
+
+// syncPrimitive reports whether t (or the type it points to) is a named
+// type from sync or sync/atomic, or a channel. Values of these types are
+// synchronization primitives themselves: capturing and using them across
+// goroutines is their purpose, not a data race.
+func syncPrimitive(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if _, ok := t.Underlying().(*types.Chan); ok {
+		return true
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	pkg := named.Obj().Pkg()
+	if pkg == nil {
+		return false
+	}
+	return pkg.Path() == "sync" || pkg.Path() == "sync/atomic"
+}

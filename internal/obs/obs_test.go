@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"io"
 	"math"
 	"sync"
 	"testing"
@@ -210,6 +211,59 @@ func TestMergeAddsCountersAndHistograms(t *testing.T) {
 	}
 	if got := dst.Gauge("g").Value(); got != 9 {
 		t.Errorf("merged gauge = %g, want 9 (src wins)", got)
+	}
+}
+
+// TestRegistryConcurrentMergeExport drives two goroutines merging replica
+// registries into one destination while a third continuously snapshots
+// and renders it; run under -race this exercises the Merge/export locking
+// (Merge holds only the source lock while copying, then folds through the
+// destination's own locked lookups — an exporter must be able to run
+// mid-merge without tearing). Final counter totals check no increment was
+// lost.
+func TestRegistryConcurrentMergeExport(t *testing.T) {
+	dst := NewRegistry()
+	const mergers = 2
+	const merges = 200
+	const perSrc = 17
+	var mergeWG, exportWG sync.WaitGroup
+	stop := make(chan struct{})
+	exportWG.Add(1)
+	go func() {
+		defer exportWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := WriteText(io.Discard, dst); err != nil {
+				t.Errorf("WriteText during merges: %v", err)
+				return
+			}
+			_ = dst.Snapshot()
+		}
+	}()
+	for g := 0; g < mergers; g++ {
+		mergeWG.Add(1)
+		go func(g int) {
+			defer mergeWG.Done()
+			for i := 0; i < merges; i++ {
+				src := NewRegistry()
+				src.Counter("merged_total").Add(perSrc)
+				src.Histogram("lat").Observe(float64(g*merges + i))
+				dst.Merge(src)
+			}
+		}(g)
+	}
+	mergeWG.Wait()
+	close(stop)
+	exportWG.Wait()
+	if got := dst.Counter("merged_total").Value(); got != mergers*merges*perSrc {
+		t.Errorf("merged counter = %d, want %d", got, mergers*merges*perSrc)
+	}
+	if got := dst.Histogram("lat").Count(); got != mergers*merges {
+		t.Errorf("merged histogram count = %d, want %d", got, mergers*merges)
 	}
 }
 
