@@ -4,64 +4,149 @@
 // of the online resilience layer — run it after a crash, before trusting
 // a restored backup, or whenever a degraded query reports skipped pages.
 //
+// It is WAL-aware: when a sibling write-ahead log (<pagefile>.wal)
+// exists, rtreefsck inspects it and reports batches that committed but
+// were not fully written back — the state a crash between commit and
+// write-back leaves behind. Page-level damage found in that state is
+// expected, not fatal: `-recover` replays the committed batches into
+// the page file (exactly what opening the tree for writing would do)
+// and then verifies the repaired file.
+//
 // Usage:
 //
 //	rtreeload -in tiger.ds -alg hs -cap 100 -o tiger.rt
 //	rtreefsck tiger.rt
 //	rtreefsck -q tiger.rt && echo intact
+//	rtreefsck -recover tiger.rt   # replay the WAL, then verify
 //
 // Exit status:
 //
-//	0  the file verified clean
+//	0  the file verified clean (after recovery, if -recover)
 //	1  the file opened but the catalog or at least one page is corrupt
-//	2  the file could not be opened or read at all (missing, truncated,
-//	   bad magic/version, inconsistent header)
+//	2  the file (or its WAL) could not be opened or read at all
+//	3  the WAL holds committed batches the page file is missing — the
+//	   file needs `rtreefsck -recover` (or a writable open), and page
+//	   faults reported alongside are probably just the missing replay
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"rtreebuf/internal/storage"
 )
 
 func main() {
-	quiet := flag.Bool("q", false, "print nothing, only set the exit status")
-	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: rtreefsck [-q] <pagefile>")
-		flag.PrintDefaults()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its exits and streams made testable.
+func run(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("rtreefsck", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	quiet := fs.Bool("q", false, "print nothing, only set the exit status")
+	doRecover := fs.Bool("recover", false, "replay committed WAL batches into the page file before verifying")
+	fs.Usage = func() {
+		printfln(stderr, "usage: rtreefsck [-q] [-recover] <pagefile>")
+		fs.PrintDefaults()
 	}
-	flag.Parse()
-	if flag.NArg() != 1 {
-		flag.Usage()
-		os.Exit(2)
+	if err := fs.Parse(argv); err != nil {
+		return 2
 	}
-	path := flag.Arg(0)
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return 2
+	}
+	path := fs.Arg(0)
 
 	dm, err := storage.OpenFile(path)
 	if err != nil {
 		if !*quiet {
-			fmt.Fprintf(os.Stderr, "rtreefsck: %v\n", err)
+			printf(stderr, "rtreefsck: %v\n", err)
 		}
-		os.Exit(2)
+		return 2
 	}
-	rep := storage.Scrub(dm)
-	if err := dm.Close(); err != nil && !*quiet {
-		fmt.Fprintf(os.Stderr, "rtreefsck: closing %s: %v\n", path, err)
+	defer dm.Close()
+
+	// A sibling WAL changes what "verified" means: the durable truth is
+	// pages + committed log, not pages alone.
+	pending := false
+	if walPath := storage.WALPath(path); fileExists(walPath) {
+		wdev, err := storage.OpenFile(walPath)
+		if err != nil {
+			if !*quiet {
+				printf(stderr, "rtreefsck: opening WAL: %v\n", err)
+			}
+			return 2
+		}
+		defer wdev.Close()
+		w, err := storage.OpenWAL(wdev, dm.PageSize())
+		if err != nil {
+			if !*quiet {
+				printf(stderr, "rtreefsck: reading WAL: %v\n", err)
+			}
+			return 2
+		}
+		wrep := storage.InspectWAL(w)
+		if !*quiet {
+			printf(stdout, "wal: %s\n", wrep)
+		}
+		if *doRecover {
+			rrep, err := storage.Recover(dm, w)
+			if err != nil {
+				if !*quiet {
+					printf(stderr, "rtreefsck: recovery failed: %v\n", err)
+				}
+				return 1
+			}
+			if !*quiet {
+				printf(stdout, "recovery: %s\n", rrep)
+			}
+		} else {
+			pending = wrep.NeededRecovery()
+		}
 	}
 
+	rep := storage.Scrub(dm)
 	if !*quiet {
-		fmt.Printf("%s: %d pages of %d bytes\n", path, rep.Pages, rep.PageSize)
+		printf(stdout, "%s: %d pages of %d bytes\n", path, rep.Pages, rep.PageSize)
 		if rep.MetaErr != nil {
-			fmt.Printf("catalog: %v\n", rep.MetaErr)
+			printf(stdout, "catalog: %v\n", rep.MetaErr)
 		}
 		for _, f := range rep.Faults {
-			fmt.Println(f)
+			printfln(stdout, f)
 		}
-		fmt.Println(rep)
+		printfln(stdout, rep)
+	}
+	// Pending recovery outranks corruption: damage in a file whose WAL
+	// holds unreplayed batches is the expected mid-write-back state, and
+	// the remedy is -recover, not a restore.
+	if pending {
+		if !*quiet {
+			printfln(stdout, "recovery needed: committed WAL batches are not in the page file; run rtreefsck -recover")
+		}
+		return 3
 	}
 	if !rep.Clean() {
-		os.Exit(1)
+		return 1
 	}
+	return 0
+}
+
+func fileExists(path string) bool {
+	info, err := os.Stat(path)
+	return err == nil && !info.IsDir()
+}
+
+// printf and printfln write best-effort diagnostics: a stream that
+// cannot be written to leaves no better place to report the failure,
+// and the exit status carries the verdict regardless.
+func printf(w io.Writer, format string, args ...any) {
+	_, _ = fmt.Fprintf(w, format, args...)
+}
+
+func printfln(w io.Writer, args ...any) {
+	_, _ = fmt.Fprintln(w, args...)
 }

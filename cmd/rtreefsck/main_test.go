@@ -1,0 +1,163 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rtreebuf/internal/geom"
+	"rtreebuf/internal/rtree"
+	"rtreebuf/internal/storage"
+)
+
+const testPageSize = 512
+
+// seedTree persists a small quadratic-split tree at path.
+func seedTree(t *testing.T, path string) {
+	t.Helper()
+	tree, err := rtree.New(rtree.Params{MaxEntries: 8, MinEntries: 3, Split: rtree.SplitQuadratic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	items := make([]rtree.Item, 80)
+	for i := range items {
+		x, y := rng.Float64()*100, rng.Float64()*100
+		items[i] = rtree.Item{
+			Rect: geom.Rect{MinX: x, MinY: y, MaxX: x + 2, MaxY: y + 2},
+			ID:   int64(i + 1),
+		}
+	}
+	tree.InsertAll(items)
+	dm, err := storage.CreateFile(path, testPageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := storage.SaveTree(dm, tree); err != nil {
+		t.Fatal(err)
+	}
+	if err := dm.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// crashMidWriteBack opens path writable with a sibling WAL and crashes
+// the page device on the first write-back write of an insert: the WAL
+// commits the batch, the page file never sees it — the canonical
+// recovery-pending state.
+func crashMidWriteBack(t *testing.T, path string) {
+	t.Helper()
+	fm, err := storage.OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fault := storage.NewFaultManager(fm, 1)
+	walDev, err := storage.CreateFile(storage.WALPath(path), testPageSize+storage.WALFrameOverhead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, rep, err := storage.OpenPagedTreeWAL(fault, walDev, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.NeededRecovery() {
+		t.Fatalf("fresh WAL needed recovery: %s", rep)
+	}
+	fault.CrashAfterWrites(int(fault.Writes()))
+	err = pt.Insert(rtree.Item{Rect: geom.Rect{MinX: 1, MinY: 1, MaxX: 2, MaxY: 2}, ID: 9999})
+	if err == nil {
+		t.Fatal("insert through a crashed page device succeeded")
+	}
+	if err := walDev.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fault.Close(); err != nil && !errors.Is(err, storage.ErrCrashed) {
+		t.Fatal(err)
+	}
+}
+
+func runFsck(t *testing.T, args ...string) (int, string) {
+	t.Helper()
+	var out, errOut bytes.Buffer
+	code := run(args, &out, &errOut)
+	return code, out.String() + errOut.String()
+}
+
+func TestRunExitCodes(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "tree.rt")
+	seedTree(t, path)
+
+	// 0: intact file, no WAL.
+	if code, out := runFsck(t, path); code != 0 {
+		t.Fatalf("clean file: exit %d\n%s", code, out)
+	}
+
+	// 3: committed WAL batch the page file is missing, without -recover.
+	crashMidWriteBack(t, path)
+	code, out := runFsck(t, path)
+	if code != 3 {
+		t.Fatalf("pending recovery: exit %d, want 3\n%s", code, out)
+	}
+	if !strings.Contains(out, "recovery needed") {
+		t.Fatalf("pending recovery output missing hint:\n%s", out)
+	}
+
+	// 0: -recover replays the batch and the repaired file verifies.
+	if code, out := runFsck(t, "-recover", path); code != 0 {
+		t.Fatalf("-recover: exit %d\n%s", code, out)
+	}
+	// ...and the replay is durable: a plain re-check is clean too.
+	if code, out := runFsck(t, path); code != 0 {
+		t.Fatalf("after recovery: exit %d\n%s", code, out)
+	}
+
+	// 1: corrupt page (bit rot past the header block).
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte{0xFF, 0xFF, 0xFF, 0xFF}, testPageSize+64); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if code, out := runFsck(t, path); code != 1 {
+		t.Fatalf("corrupt file: exit %d, want 1\n%s", code, out)
+	}
+
+	// 2: not a page file / missing file / bad usage.
+	junk := filepath.Join(dir, "junk.ds")
+	if err := os.WriteFile(junk, []byte("not a page file at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, _ := runFsck(t, junk); code != 2 {
+		t.Fatalf("junk file: exit %d, want 2", code)
+	}
+	if code, _ := runFsck(t, filepath.Join(dir, "missing.rt")); code != 2 {
+		t.Fatalf("missing file: exit %d, want 2", code)
+	}
+	if code, _ := runFsck(t); code != 2 {
+		t.Fatalf("no args: exit %d, want 2", code)
+	}
+}
+
+// TestQuietSuppressesOutput: -q prints nothing on any path.
+func TestQuietSuppressesOutput(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "tree.rt")
+	seedTree(t, path)
+	crashMidWriteBack(t, path)
+	code, out := runFsck(t, "-q", path)
+	if code != 3 {
+		t.Fatalf("-q pending recovery: exit %d, want 3", code)
+	}
+	if out != "" {
+		t.Fatalf("-q printed:\n%s", out)
+	}
+}

@@ -61,5 +61,14 @@ func DetermRoots() []RootSpec {
 		{Path: mod + "/internal/obs", Name: "Write*"},
 		{Path: mod + "/internal/storage", Name: "SaveTree*"},
 		{Path: mod + "/internal/storage", Name: "EncodeNode"},
+		// The write path: recovery must be a pure function of the log
+		// bytes (every reopen of the same crashed state yields the same
+		// pages), and dirty-page flushing must emit writes in an order
+		// derived from the data, not from map iteration or a clock.
+		// These are I/O-bearing by design, so they live here and not in
+		// PureRoots — the contract is determinism, not disk-freedom.
+		{Path: mod + "/internal/storage", Name: "Recover"},
+		{Path: mod + "/internal/storage", Name: "OpenWAL"},
+		{Path: mod + "/internal/buffer", Recv: "*", Name: "FlushDirty"},
 	}
 }

@@ -135,6 +135,56 @@ func (l *LRU) Unpin(page int) {
 	l.pushFront(int32(page))
 }
 
+// Victim returns the page the next capacity eviction would drop (the
+// least recently used unpinned page) without touching anything. ok is
+// false when every resident page is pinned or the cache is empty. A pool
+// that tracks dirty pages peeks the victim before a fault so it can
+// write the contents back while they are still resident.
+func (l *LRU) Victim() (page int, ok bool) {
+	if l.tail == sentinel {
+		return 0, false
+	}
+	return int(l.tail), true
+}
+
+// Install makes page resident as most recently used without counting a
+// hit or a miss — the caller is writing the page, not reading it, so no
+// physical read is implied (Stats' "misses equal source reads" contract
+// survives the update path). A capacity eviction still counts. Returns
+// whether the page was already resident.
+func (l *LRU) Install(page int) bool {
+	if l.pinned[page] {
+		return true
+	}
+	if l.resident[page] {
+		l.moveToFront(int32(page))
+		return true
+	}
+	if l.size >= l.capacity {
+		l.evictLRU()
+	}
+	l.resident[page] = true
+	l.size++
+	l.pushFront(int32(page))
+	return false
+}
+
+// Grow extends the page-number space to numPages (a no-op if not larger).
+// Capacity is unchanged: growth admits higher page numbers, not more
+// resident pages. The update path calls this when node splits allocate
+// pages past the tree's original extent.
+func (l *LRU) Grow(numPages int) {
+	if numPages <= l.numPages {
+		return
+	}
+	extra := numPages - l.numPages
+	l.prev = append(l.prev, make([]int32, extra)...)
+	l.next = append(l.next, make([]int32, extra)...)
+	l.resident = append(l.resident, make([]bool, extra)...)
+	l.pinned = append(l.pinned, make([]bool, extra)...)
+	l.numPages = numPages
+}
+
 // Remove drops page from the cache without invoking OnEvict or counting
 // an eviction. Used by pools to back out a fault whose source read failed.
 // Removing a pinned or absent page is a no-op returning false.

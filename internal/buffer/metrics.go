@@ -26,11 +26,14 @@ type Metrics struct {
 	reg    *obs.Registry
 	policy obs.Label
 
-	hits         *obs.Counter
-	misses       *obs.Counter
-	evictions    *obs.Counter
-	pinHits      *obs.Counter
-	readFailures *obs.Counter
+	hits          *obs.Counter
+	misses        *obs.Counter
+	evictions     *obs.Counter
+	pinHits       *obs.Counter
+	readFailures  *obs.Counter
+	dirtied       *obs.Counter
+	writeBacks    *obs.Counter
+	writeFailures *obs.Counter
 
 	levelOf     []int // page -> tree level (root = 0); nil disables per-level series
 	levelHits   []*obs.Counter
@@ -46,13 +49,16 @@ func NewMetrics(reg *obs.Registry, policy string) *Metrics {
 	}
 	p := obs.L("policy", policy)
 	return &Metrics{ //lint:allow hotalloc one-time mirror setup when a registry is attached
-		reg:          reg,
-		policy:       p,
-		hits:         reg.Counter("buffer_hits_total", p),
-		misses:       reg.Counter("buffer_misses_total", p),
-		evictions:    reg.Counter("buffer_evictions_total", p),
-		pinHits:      reg.Counter("buffer_pin_hits_total", p),
-		readFailures: reg.Counter("buffer_read_failures_total", p),
+		reg:           reg,
+		policy:        p,
+		hits:          reg.Counter("buffer_hits_total", p),
+		misses:        reg.Counter("buffer_misses_total", p),
+		evictions:     reg.Counter("buffer_evictions_total", p),
+		pinHits:       reg.Counter("buffer_pin_hits_total", p),
+		readFailures:  reg.Counter("buffer_read_failures_total", p),
+		dirtied:       reg.Counter("buffer_pages_dirtied_total", p),
+		writeBacks:    reg.Counter("buffer_write_backs_total", p),
+		writeFailures: reg.Counter("buffer_write_failures_total", p),
 	}
 }
 
@@ -147,6 +153,27 @@ func (m *Metrics) onReadFailure() {
 		return
 	}
 	m.readFailures.Inc()
+}
+
+func (m *Metrics) onDirty() {
+	if m == nil {
+		return
+	}
+	m.dirtied.Inc()
+}
+
+func (m *Metrics) onWriteBack() {
+	if m == nil {
+		return
+	}
+	m.writeBacks.Inc()
+}
+
+func (m *Metrics) onWriteFailure() {
+	if m == nil {
+		return
+	}
+	m.writeFailures.Inc()
 }
 
 // policyCounters is the hit/miss/evict accounting shared by every Policy

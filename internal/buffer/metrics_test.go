@@ -1,6 +1,7 @@
 package buffer
 
 import (
+	"strings"
 	"testing"
 
 	"rtreebuf/internal/obs"
@@ -117,6 +118,56 @@ func TestPoolReadFailureMetric(t *testing.T) {
 	}
 	if got := counterValue(t, reg, `buffer_read_failures_total{policy="lru"}`); got != 1 {
 		t.Errorf("obs read failures = %v, want 1", got)
+	}
+}
+
+// TestPoolDirtyMetricsExported: the write-path counters — pages
+// dirtied, write-backs, and failed write-backs — reach the obs mirror
+// and render in the Prometheus text exposition, so a dashboard can
+// alert on failed write-backs the same way it does on failed reads.
+func TestPoolDirtyMetricsExported(t *testing.T) {
+	reg := obs.NewRegistry()
+	src := &fakeSource{pageSize: 8, numPages: 4}
+	sink := newFakeSink(8)
+	sink.failOn[0] = true
+	p := NewPool(src, 1, 4)
+	p.SetSink(sink)
+	p.SetMetrics(NewMetrics(reg, "lru"))
+
+	if err := p.Put(0, pattern(8, 0xD0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.FlushDirty(); err == nil {
+		t.Fatal("flush into a failing sink succeeded")
+	}
+	sink.failOn[0] = false
+	if err := p.FlushDirty(); err != nil {
+		t.Fatalf("flush after sink healed: %v", err)
+	}
+	if p.FailedWrites() != 1 {
+		t.Fatalf("FailedWrites = %d, want 1", p.FailedWrites())
+	}
+	checks := map[string]float64{
+		`buffer_pages_dirtied_total{policy="lru"}`:  1,
+		`buffer_write_backs_total{policy="lru"}`:    1,
+		`buffer_write_failures_total{policy="lru"}`: 1,
+	}
+	for name, want := range checks {
+		if got := counterValue(t, reg, name); got != want {
+			t.Errorf("%s = %v, want %v", name, got, want)
+		}
+	}
+	var export strings.Builder
+	if err := obs.WritePrometheus(&export, reg); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range []string{
+		`buffer_write_failures_total{policy="lru"} 1`,
+		`# TYPE buffer_write_failures_total counter`,
+	} {
+		if !strings.Contains(export.String(), line) {
+			t.Errorf("Prometheus export missing %q", line)
+		}
 	}
 }
 

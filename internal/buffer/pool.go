@@ -1,6 +1,9 @@
 package buffer
 
-import "fmt"
+import (
+	"fmt"
+	"slices"
+)
 
 // PageSource supplies page contents on buffer misses. It is satisfied by
 // the disk managers of internal/storage; declaring it here keeps the
@@ -12,24 +15,48 @@ type PageSource interface {
 	ReadPage(page int, dst []byte) error
 }
 
+// PageSink receives dirty-page write-backs. The storage disk managers
+// satisfy it; a pool with no sink attached rejects dirty-page operations
+// rather than losing writes.
+type PageSink interface {
+	// WritePage persists the page's contents.
+	WritePage(page int, data []byte) error
+}
+
 // Pool is an LRU page buffer serving page contents from a PageSource —
 // the database buffer pool the paper assumes around the R-tree. Every
 // miss costs one PageSource read, which is the "disk access" the paper's
 // EDT metric counts.
 //
-// Pool is intended for read-mostly index workloads: pages are immutable
-// once written (the R-tree is rebuilt or re-saved to change it), so there
-// is no dirty-page tracking or write-back.
+// The read path treats pages as immutable, matching the paper's
+// query-only experiments. The update path adds dirty-page tracking on
+// top: Put and MarkDirty flag resident pages as ahead of the source,
+// FlushDirty writes them back to the attached PageSink in page order,
+// and a fault that must evict a dirty victim writes it back first (the
+// write-back failing fails the fault — a dirty page is never silently
+// dropped). Crash atomicity is not the pool's job: callers WAL-log a
+// batch before putting its pages, so a write-back at any moment is
+// redo-covered.
 type Pool struct {
 	src    PageSource
+	sink   PageSink
 	lru    *LRU
 	frames [][]byte
 	free   [][]byte // recycled frames from evictions
+
+	dirty     []bool // page -> contents ahead of the source
+	dirtyList []int  // pages flagged dirty, unordered, may hold cleaned entries
+	nDirty    int
+
 	// readFailures counts source reads that returned an error. Failed
 	// reads still count as misses (a physical read was issued) but leave
 	// no frame resident, so callers watching for degraded storage can
 	// tell "cold buffer" apart from "sick disk".
 	readFailures uint64
+	// failedWrites counts sink writes that returned an error. The page
+	// stays resident and dirty, so no data is lost; the operation that
+	// needed the write-back surfaces the error.
+	failedWrites uint64
 	metrics      *Metrics
 }
 
@@ -45,6 +72,11 @@ func (p *Pool) noteReadFailure() {
 	p.metrics.onReadFailure()
 }
 
+func (p *Pool) noteFailedWrite() {
+	p.failedWrites++
+	p.metrics.onWriteFailure()
+}
+
 // NewPool returns a pool of the given capacity (in pages) over pages
 // [0, numPages) of src.
 func NewPool(src PageSource, capacity, numPages int) *Pool {
@@ -52,12 +84,35 @@ func NewPool(src PageSource, capacity, numPages int) *Pool {
 		src:    src,
 		lru:    NewLRU(capacity, numPages),
 		frames: make([][]byte, numPages),
+		dirty:  make([]bool, numPages),
 	}
 	p.lru.OnEvict = func(page int) {
+		if p.dirty[page] {
+			// Every eviction point writes the victim back first; a dirty
+			// page reaching here means the write-back protocol was
+			// bypassed and its contents are about to be lost.
+			panic(fmt.Sprintf("buffer: evicting dirty page %d", page))
+		}
 		p.free = append(p.free, p.frames[page])
 		p.frames[page] = nil
 	}
 	return p
+}
+
+// SetSink attaches the write-back target for dirty pages; nil detaches.
+func (p *Pool) SetSink(sink PageSink) { p.sink = sink }
+
+// Grow extends the pool's page-number space to numPages (no-op if not
+// larger). Capacity is unchanged. The update path calls this when node
+// splits allocate pages past the tree's original extent.
+func (p *Pool) Grow(numPages int) {
+	if numPages <= len(p.frames) {
+		return
+	}
+	extra := numPages - len(p.frames)
+	p.frames = append(p.frames, make([][]byte, extra)...)
+	p.dirty = append(p.dirty, make([]bool, extra)...)
+	p.lru.Grow(numPages)
 }
 
 // Get returns the contents of page, reading it from the source on a miss.
@@ -67,9 +122,14 @@ func (p *Pool) Get(page int) ([]byte, error) {
 	if page < 0 || page >= len(p.frames) {
 		return nil, fmt.Errorf("buffer: page %d outside [0,%d)", page, len(p.frames))
 	}
-	if p.lru.Access(page) {
+	if p.lru.Contains(page) && p.frames[page] != nil {
+		p.lru.Access(page)
 		return p.frames[page], nil
 	}
+	if err := p.writeBackVictim(); err != nil {
+		return nil, err
+	}
+	p.lru.Access(page)
 	frame := p.takeFrame()
 	if err := p.src.ReadPage(page, frame); err != nil {
 		// Back out the fault so a failed read never leaves a garbage
@@ -182,6 +242,11 @@ func (p *Pool) Pin(page int) error {
 		return nil
 	}
 	resident := p.lru.Contains(page)
+	if !resident {
+		if err := p.writeBackVictim(); err != nil {
+			return err
+		}
+	}
 	if err := p.lru.Pin(page); err != nil {
 		return err
 	}
@@ -203,6 +268,180 @@ func (p *Pool) Pin(page int) error {
 // as misses but deliver no page.
 func (p *Pool) FailedReads() uint64 { return p.readFailures }
 
+// FailedWrites returns how many sink write-backs errored. The pages
+// stayed resident and dirty, so nothing was lost — but the storage
+// underneath is sick and the operations that needed the write-backs
+// failed.
+func (p *Pool) FailedWrites() uint64 { return p.failedWrites }
+
+// DirtyPages returns how many resident pages are ahead of the source.
+func (p *Pool) DirtyPages() int { return p.nDirty }
+
+// Put installs data as the contents of page, resident and dirty — the
+// update path's entry point after its batch is WAL-committed. The page
+// becomes most recently used; no read miss is counted (no physical read
+// happens). Installing into a full pool may evict, writing a dirty
+// victim back first.
+func (p *Pool) Put(page int, data []byte) error {
+	if page < 0 || page >= len(p.frames) {
+		return fmt.Errorf("buffer: page %d outside [0,%d)", page, len(p.frames))
+	}
+	if len(data) != p.src.PageSize() {
+		return fmt.Errorf("buffer: put of %d bytes != page size %d", len(data), p.src.PageSize())
+	}
+	if !p.lru.Contains(page) {
+		if err := p.writeBackVictim(); err != nil {
+			return err
+		}
+	}
+	p.lru.Install(page)
+	if p.frames[page] == nil {
+		p.frames[page] = p.takeFrame()
+	}
+	copy(p.frames[page], data)
+	p.setDirty(page)
+	return nil
+}
+
+// MarkDirty flags a resident page whose frame the caller mutated in
+// place. The pool will write it back on FlushDirty or before evicting it.
+func (p *Pool) MarkDirty(page int) error {
+	if page < 0 || page >= len(p.frames) {
+		return fmt.Errorf("buffer: page %d outside [0,%d)", page, len(p.frames))
+	}
+	if !p.lru.Contains(page) || p.frames[page] == nil {
+		return fmt.Errorf("buffer: MarkDirty of non-resident page %d", page)
+	}
+	p.setDirty(page)
+	return nil
+}
+
+// FlushDirty writes every dirty page back to the sink in ascending page
+// order (deterministic for a given dirty set) and clears the dirty
+// flags. On a write failure it stops: the failed page and everything
+// after it stay dirty and resident, and the error surfaces. Callers
+// ordering a WAL commit call this after logging, so a partial flush is
+// always redo-covered.
+func (p *Pool) FlushDirty() error {
+	if p.nDirty == 0 {
+		p.dirtyList = p.dirtyList[:0]
+		return nil
+	}
+	slices.Sort(p.dirtyList)
+	for i, page := range p.dirtyList {
+		if !p.dirty[page] {
+			continue // cleaned earlier (write-back on eviction) or a duplicate entry
+		}
+		if err := p.flushPage(page); err != nil {
+			rest := p.dirtyList[i:]
+			n := copy(p.dirtyList, rest)
+			p.dirtyList = p.dirtyList[:n]
+			return err
+		}
+	}
+	p.dirtyList = p.dirtyList[:0]
+	return nil
+}
+
+func (p *Pool) setDirty(page int) {
+	if p.dirty[page] {
+		return
+	}
+	p.dirty[page] = true
+	p.nDirty++
+	p.dirtyList = append(p.dirtyList, page)
+	p.metrics.onDirty()
+}
+
+func (p *Pool) clearDirty(page int) {
+	if !p.dirty[page] {
+		return
+	}
+	p.dirty[page] = false
+	p.nDirty--
+}
+
+// flushPage writes one dirty page to the sink and clears its flag.
+func (p *Pool) flushPage(page int) error {
+	return p.wroteBack(page, p.sinkWrite(page, p.frames[page]))
+}
+
+// sinkWrite performs the physical write-back. It touches no pool state,
+// so a locked wrapper may call it without holding the state lock.
+func (p *Pool) sinkWrite(page int, data []byte) error {
+	if p.sink == nil {
+		return fmt.Errorf("buffer: no write-back sink attached")
+	}
+	return p.sink.WritePage(page, data)
+}
+
+// wroteBack commits the outcome of a sink write: success clears the
+// dirty flag and counts a write-back, failure counts a failed write and
+// leaves the page dirty.
+func (p *Pool) wroteBack(page int, err error) error {
+	if err != nil {
+		p.noteFailedWrite()
+		return fmt.Errorf("buffer: writing back page %d: %w", page, err)
+	}
+	p.clearDirty(page)
+	p.metrics.onWriteBack()
+	return nil
+}
+
+// writeBackVictim cleans the page the next capacity eviction would drop,
+// so the eviction (inside LRU.Access/Install/Pin) never loses a dirty
+// page. Single-threaded pools call it immediately before any operation
+// that may evict.
+func (p *Pool) writeBackVictim() error {
+	if !p.lru.Full() {
+		return nil
+	}
+	v, ok := p.lru.Victim()
+	if !ok || !p.dirty[v] {
+		return nil
+	}
+	return p.flushPage(v)
+}
+
+// dirtyVictim is writeBackVictim's probe half for a locked wrapper:
+// when the next eviction victim is dirty it copies the victim's frame
+// into dst and returns its page number; otherwise it returns -1 and the
+// caller may evict freely (until it releases its write serialization).
+func (p *Pool) dirtyVictim(dst []byte) int {
+	if !p.lru.Full() {
+		return -1
+	}
+	v, ok := p.lru.Victim()
+	if !ok || !p.dirty[v] {
+		return -1
+	}
+	copy(dst, p.frames[v])
+	return v
+}
+
+// dirtySnapshot returns the dirty pages in ascending order, for a locked
+// wrapper that flushes them one at a time.
+func (p *Pool) dirtySnapshot() []int {
+	out := make([]int, 0, p.nDirty)
+	for _, page := range p.dirtyList {
+		if p.dirty[page] {
+			out = append(out, page)
+		}
+	}
+	slices.Sort(out)
+	return slices.Compact(out)
+}
+
+// copyDirty copies page's frame into dst if it is still dirty, reporting
+// whether it was.
+func (p *Pool) copyDirty(page int, dst []byte) bool {
+	if page >= len(p.frames) || !p.dirty[page] || p.frames[page] == nil {
+		return false
+	}
+	copy(dst, p.frames[page])
+	return true
+}
+
 // Unpin returns a pinned page to LRU management.
 func (p *Pool) Unpin(page int) { p.lru.Unpin(page) }
 
@@ -214,6 +453,7 @@ func (p *Pool) Stats() (hits, misses, evictions uint64) { return p.lru.Stats() }
 func (p *Pool) ResetStats() {
 	p.lru.ResetStats()
 	p.readFailures = 0
+	p.failedWrites = 0
 }
 
 // HitRatio returns the cumulative hit ratio.

@@ -25,17 +25,19 @@ import "sync"
 // callers that need zero-copy should use View, or shard trees across
 // per-goroutine Pools.
 type SyncPool struct {
-	mu      sync.Mutex // pool state; never held across source I/O
-	ioMu    sync.Mutex // serializes source reads; acquired before mu
-	pool    *Pool
-	readBuf []byte // fault staging buffer, guarded by ioMu
+	mu       sync.Mutex // pool state; never held across source I/O
+	ioMu     sync.Mutex // serializes source reads; acquired before mu
+	pool     *Pool
+	readBuf  []byte // fault staging buffer, guarded by ioMu
+	writeBuf []byte // write-back staging buffer, guarded by ioMu
 }
 
 // NewSyncPool wraps src in a thread-safe pool of the given capacity.
 func NewSyncPool(src PageSource, capacity, numPages int) *SyncPool {
 	return &SyncPool{
-		pool:    NewPool(src, capacity, numPages),
-		readBuf: make([]byte, src.PageSize()),
+		pool:     NewPool(src, capacity, numPages),
+		readBuf:  make([]byte, src.PageSize()),
+		writeBuf: make([]byte, src.PageSize()),
 	}
 }
 
@@ -104,23 +106,53 @@ func (s *SyncPool) fault(page int) ([]byte, error) {
 		return nil, err
 	}
 	out = append([]byte(nil), s.readBuf...)
-	s.mu.Lock()
-	s.pool.install(page, s.readBuf)
-	s.mu.Unlock()
+	if err := s.installClean(func() { s.pool.install(page, s.readBuf) }); err != nil { //lint:allow lockcheck dirty write-back under ioMu is the no-steal protocol
+		return nil, err
+	}
 	return out, nil
+}
+
+// installClean runs install (under mu) once no dirty page can be the
+// eviction victim, writing dirty victims back first. It must be called
+// with ioMu held and mu not held: ioMu blocks every mutator (Put,
+// FlushDirty, other faults), so the dirty set is frozen — concurrent
+// hits may reorder recency and surface a different dirty tail, which is
+// why this loops rather than checking once. Each iteration cleans one
+// page, so it terminates. A write-back failure fails the caller's
+// operation; the victim stays resident and dirty.
+func (s *SyncPool) installClean(install func()) error {
+	for {
+		s.mu.Lock()
+		v := s.pool.dirtyVictim(s.writeBuf)
+		if v < 0 {
+			install()
+			s.mu.Unlock()
+			return nil
+		}
+		s.mu.Unlock()
+		err := s.pool.sinkWrite(v, s.writeBuf) //lint:allow lockcheck serializing sink I/O is ioMu's purpose
+		s.mu.Lock()
+		err = s.pool.wroteBack(v, err)
+		s.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
 }
 
 // Pin makes page permanently resident.
 func (s *SyncPool) Pin(page int) error {
 	s.ioMu.Lock()
 	defer s.ioMu.Unlock()
-	s.mu.Lock()
-	need, err := s.pool.preparePin(page)
-	s.mu.Unlock()
-	if err != nil || !need {
+	var need bool
+	var perr error
+	if err := s.installClean(func() { need, perr = s.pool.preparePin(page) }); err != nil { //lint:allow lockcheck dirty write-back under ioMu is the no-steal protocol
 		return err
 	}
-	err = s.pool.readPage(page, s.readBuf) //lint:allow lockcheck serializing source I/O is ioMu's purpose
+	if perr != nil || !need {
+		return perr
+	}
+	err := s.pool.readPage(page, s.readBuf) //lint:allow lockcheck serializing source I/O is ioMu's purpose
 	if err != nil {
 		s.mu.Lock()
 		err = s.pool.failedPin(page, err)
@@ -138,6 +170,87 @@ func (s *SyncPool) Unpin(page int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.pool.Unpin(page)
+}
+
+// SetSink attaches the write-back target for dirty pages; nil detaches.
+func (s *SyncPool) SetSink(sink PageSink) {
+	s.ioMu.Lock()
+	defer s.ioMu.Unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pool.SetSink(sink)
+}
+
+// Grow extends the pool's page-number space to numPages.
+func (s *SyncPool) Grow(numPages int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pool.Grow(numPages)
+}
+
+// Put installs data as the contents of page, resident and dirty.
+// SyncPool's Get hands out copies, so in-place mutation (Pool.MarkDirty)
+// has no shared-pool equivalent: Put is the whole write path. Writers
+// are serialized by ioMu; concurrent readers keep hitting.
+func (s *SyncPool) Put(page int, data []byte) error {
+	s.ioMu.Lock()
+	defer s.ioMu.Unlock()
+	var perr error
+	// Under installClean's no-dirty-victim guarantee Pool.Put's own
+	// victim write-back finds nothing to do, so no I/O runs under mu.
+	if err := s.installClean(func() { perr = s.pool.Put(page, data) }); err != nil { //lint:allow lockcheck dirty write-back under ioMu is the no-steal protocol
+		return err
+	}
+	return perr
+}
+
+// FlushDirty writes every dirty page back to the sink in ascending page
+// order, stopping at the first failure (the failed page and everything
+// after stay dirty). Each page is copied out under mu and written under
+// ioMu only, so resident reads proceed during the flush.
+func (s *SyncPool) FlushDirty() error {
+	s.ioMu.Lock()
+	defer s.ioMu.Unlock()
+	s.mu.Lock()
+	pages := s.pool.dirtySnapshot()
+	s.mu.Unlock()
+	for _, page := range pages {
+		s.mu.Lock()
+		ok := s.pool.copyDirty(page, s.writeBuf)
+		s.mu.Unlock()
+		if !ok {
+			continue // cleaned by an eviction write-back meanwhile
+		}
+		err := s.pool.sinkWrite(page, s.writeBuf) //lint:allow lockcheck serializing sink I/O is ioMu's purpose
+		s.mu.Lock()
+		err = s.pool.wroteBack(page, err)
+		s.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DirtyPages returns how many resident pages are ahead of the source.
+func (s *SyncPool) DirtyPages() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pool.DirtyPages()
+}
+
+// FailedWrites returns how many sink write-backs errored.
+func (s *SyncPool) FailedWrites() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pool.FailedWrites()
+}
+
+// FailedReads returns how many source reads errored.
+func (s *SyncPool) FailedReads() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pool.FailedReads()
 }
 
 // SetMetrics attaches an obs mirror to the wrapped pool. The obs

@@ -1,0 +1,87 @@
+package rtree
+
+import (
+	"math"
+
+	"rtreebuf/internal/geom"
+)
+
+// SplitIndices distributes the rectangles of an overflowing node into
+// two groups, returned as index lists into rects, using Guttman's
+// PickSeeds/PickNext with the given minimum fill. It is the node-split
+// heuristic decoupled from tree internals, for callers that operate on
+// serialized nodes (the paged update path) rather than linked ones.
+//
+// alg selects the seed heuristic: SplitLinear uses the linear PickSeeds,
+// everything else (including SplitRStar, whose forced-reinsertion
+// machinery needs whole-tree context a page-at-a-time updater does not
+// have) uses the quadratic one. Both index lists are non-empty and
+// together cover every index exactly once.
+func SplitIndices(alg SplitAlgorithm, minFill int, rects []geom.Rect) (left, right []int) {
+	entries := make([]entry, len(rects))
+	for i, r := range rects {
+		entries[i] = entry{rect: r}
+	}
+	var s1, s2 int
+	if alg == SplitLinear {
+		s1, s2 = linearSeeds(entries)
+	} else {
+		s1, s2 = quadraticSeeds(entries)
+	}
+
+	left = append(left, s1)
+	right = append(right, s2)
+	leftMBR, rightMBR := rects[s1], rects[s2]
+
+	remaining := make([]int, 0, len(rects)-2)
+	for i := range rects {
+		if i != s1 && i != s2 {
+			remaining = append(remaining, i)
+		}
+	}
+
+	// PickNext/Distribute, in lockstep with Tree.splitSeeded so the
+	// paged and in-memory update paths produce the same groupings.
+	for len(remaining) > 0 {
+		if len(left)+len(remaining) == minFill {
+			left = append(left, remaining...)
+			break
+		}
+		if len(right)+len(remaining) == minFill {
+			right = append(right, remaining...)
+			break
+		}
+		bestIdx, bestDiff := 0, -1.0
+		for i, ri := range remaining {
+			d1 := leftMBR.Union(rects[ri]).Area() - leftMBR.Area()
+			d2 := rightMBR.Union(rects[ri]).Area() - rightMBR.Area()
+			diff := math.Abs(d1 - d2)
+			if diff > bestDiff {
+				bestIdx, bestDiff = i, diff
+			}
+		}
+		ri := remaining[bestIdx]
+		remaining[bestIdx] = remaining[len(remaining)-1]
+		remaining = remaining[:len(remaining)-1]
+
+		d1 := leftMBR.Union(rects[ri]).Area() - leftMBR.Area()
+		d2 := rightMBR.Union(rects[ri]).Area() - rightMBR.Area()
+		toLeft := d1 < d2
+		if d1 == d2 {
+			a1, a2 := leftMBR.Area(), rightMBR.Area()
+			if a1 != a2 {
+				toLeft = a1 < a2
+			} else {
+				toLeft = len(left) <= len(right)
+			}
+		}
+		if toLeft {
+			left = append(left, ri)
+			leftMBR = leftMBR.Union(rects[ri])
+		} else {
+			right = append(right, ri)
+			rightMBR = rightMBR.Union(rects[ri])
+		}
+	}
+	return left, right
+}

@@ -106,7 +106,7 @@ func (m *MemoryManager) WritePage(page int, data []byte) error {
 		return fmt.Errorf("storage: write of %d bytes != page size %d", len(data), m.pageSize)
 	}
 	for len(m.pages) <= page {
-		m.pages = append(m.pages, make([]byte, m.pageSize))
+		m.pages = append(m.pages, make([]byte, m.pageSize)) //lint:allow hotalloc growth allocates by definition; steady-state overwrites skip this loop
 	}
 	copy(m.pages[page], data)
 	m.stats.Writes++
@@ -169,13 +169,14 @@ const (
 // durably written. (Rewriting the page-sized header on every appended
 // page made SaveTree O(pages) redundant header writes.)
 type FileManager struct {
-	f        *os.File
-	pageSize int
-	numPages int
-	meta     []byte
-	stats    IOStats
-	metrics  *Metrics
-	hdrDirty bool // in-memory numPages is ahead of the on-disk header
+	f         *os.File
+	pageSize  int
+	numPages  int
+	meta      []byte
+	stats     IOStats
+	metrics   *Metrics
+	hdrDirty  bool // in-memory numPages is ahead of the on-disk header
+	dataDirty bool // page writes since the last sync (ordering guard for WriteMeta)
 }
 
 // CreateFile creates (or truncates) a page file at path.
@@ -315,6 +316,7 @@ func (fm *FileManager) WritePage(page int, data []byte) error {
 	}
 	fm.stats.Writes++
 	fm.metrics.noteWrite(fm.pageSize)
+	fm.dataDirty = true
 	if page >= fm.numPages {
 		fm.numPages = page + 1
 		fm.hdrDirty = true
@@ -324,41 +326,65 @@ func (fm *FileManager) WritePage(page int, data []byte) error {
 
 // Flush publishes any deferred growth: it syncs the page data first and
 // only then rewrites the header, so the on-disk header never advertises
-// pages that a crash could have swallowed. It is a no-op when the header
-// is current. WriteMeta and Close flush implicitly.
+// pages that a crash could have swallowed. It is a no-op when both the
+// header and the page data are current. WriteMeta and Close flush
+// implicitly.
 func (fm *FileManager) Flush() error {
-	if !fm.hdrDirty {
+	if !fm.hdrDirty && !fm.dataDirty {
 		return nil
 	}
 	if err := fm.f.Sync(); err != nil {
 		return fmt.Errorf("storage: syncing pages before header update: %w", err)
 	}
 	fm.metrics.noteFsync()
-	if err := fm.writeHeader(); err != nil {
-		return err
+	fm.dataDirty = false
+	if fm.hdrDirty {
+		if err := fm.writeHeader(); err != nil {
+			return err
+		}
+		fm.hdrDirty = false
 	}
-	fm.hdrDirty = false
 	return nil
 }
 
-// WriteMeta implements DiskManager. It also publishes any deferred page
-// growth, in crash-safe order (page data synced before the header that
-// advertises it).
+// WriteMeta implements DiskManager. It enforces the ordering invariant
+// that metadata can never be durably ahead of page data: any unsynced
+// page write — growth (deferred header) or an in-place overwrite — is
+// synced before the header carrying the new metadata goes down.
+// (In-place overwrites used to slip past this guard: only growth marked
+// the manager dirty, so a caller rewriting existing pages and then the
+// catalog could crash into a new catalog over old page bytes.)
 func (fm *FileManager) WriteMeta(meta []byte) error {
 	old := fm.meta
 	fm.meta = append([]byte(nil), meta...)
-	if fm.hdrDirty {
+	if fm.hdrDirty || fm.dataDirty {
 		if err := fm.f.Sync(); err != nil {
 			fm.meta = old
 			return fmt.Errorf("storage: syncing pages before header update: %w", err)
 		}
 		fm.metrics.noteFsync()
+		fm.dataDirty = false
 	}
 	if err := fm.writeHeader(); err != nil {
 		fm.meta = old
 		return err
 	}
 	fm.hdrDirty = false
+	return nil
+}
+
+// Sync makes everything — page data, header, metadata — durable: it
+// flushes any deferred header update (data synced first, as always) and
+// then syncs the header write itself. The WAL checkpoint protocol calls
+// this before discarding a batch's log records.
+func (fm *FileManager) Sync() error {
+	if err := fm.Flush(); err != nil {
+		return err
+	}
+	if err := fm.f.Sync(); err != nil {
+		return fmt.Errorf("storage: syncing: %w", err)
+	}
+	fm.metrics.noteFsync()
 	return nil
 }
 
@@ -376,14 +402,9 @@ func (fm *FileManager) ResetStats() { fm.stats = IOStats{} }
 // Close implements DiskManager, flushing any deferred header update
 // first.
 func (fm *FileManager) Close() error {
-	if err := fm.Flush(); err != nil {
-		_ = fm.f.Close() // the flush failure is the one worth reporting
+	if err := fm.Sync(); err != nil {
+		_ = fm.f.Close() // the sync failure is the one worth reporting
 		return err
 	}
-	if err := fm.f.Sync(); err != nil {
-		_ = fm.f.Close() // the sync failure is the one worth reporting
-		return fmt.Errorf("storage: syncing: %w", err)
-	}
-	fm.metrics.noteFsync()
 	return fm.f.Close()
 }

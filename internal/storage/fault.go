@@ -137,6 +137,12 @@ func (f *FaultManager) CrashAfterWrites(n int) *FaultManager {
 	return f
 }
 
+// Writes returns the number of write operations (WritePage and
+// WriteMeta) issued so far. Crash-matrix harnesses read it to aim
+// CrashAfterWrites/TornWrite at the k-th write of a specific operation
+// rather than of the whole session.
+func (f *FaultManager) Writes() uint64 { return f.writes }
+
 // CrashNow puts the manager into the fail-stop state immediately.
 func (f *FaultManager) CrashNow() { f.crashed = true }
 
@@ -264,7 +270,7 @@ func (f *FaultManager) tornWrite(page int, data []byte, keep int) error {
 	if keep > len(data) {
 		keep = len(data)
 	}
-	composed := make([]byte, f.inner.PageSize())
+	composed := make([]byte, f.inner.PageSize()) //lint:allow hotalloc fires once per programmed tear, test harness only
 	if page < f.inner.NumPages() {
 		if err := f.inner.ReadPage(page, composed); err != nil {
 			// Unreadable old contents: the tear lands on zeros.
@@ -303,6 +309,16 @@ func (f *FaultManager) ReadMeta() ([]byte, error) {
 		return nil, err
 	}
 	return f.inner.ReadMeta()
+}
+
+// Sync forwards a durability barrier to the inner manager (when it
+// supports one), honouring the fail-stop state: a crashed device cannot
+// be synced.
+func (f *FaultManager) Sync() error {
+	if err := f.checkCrashed(); err != nil {
+		return err
+	}
+	return syncManager(f.inner)
 }
 
 // Stats implements DiskManager, delegating physical I/O accounting.

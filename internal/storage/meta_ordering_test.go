@@ -1,0 +1,118 @@
+package storage
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"rtreebuf/internal/obs"
+	"rtreebuf/internal/rtree"
+)
+
+// Regression tests for the FileManager.WriteMeta ordering guard: the
+// catalog (header) must never be durably ahead of the page data it
+// describes. The historical bug: only *growth* marked the manager
+// dirty, so a caller that overwrote existing pages in place and then
+// wrote the catalog got the header down without an intervening sync —
+// a crash window where the new catalog described old page bytes.
+
+// TestWriteMetaSyncsInPlaceOverwrites drives the exact sequence the bug
+// missed — an in-place overwrite followed by WriteMeta — and asserts a
+// sync lands between them (observed through the fsync counter).
+func TestWriteMetaSyncsInPlaceOverwrites(t *testing.T) {
+	reg := obs.NewRegistry()
+	fm, err := CreateFile(filepath.Join(t.TempDir(), "pages.rt"), MinPageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fm.Close()
+	SetManagerMetrics(fm, NewMetrics(reg))
+
+	fsyncs := func() float64 { return obsValue(t, reg, "storage_fsyncs_total") }
+
+	page := make([]byte, MinPageSize)
+	if err := fm.WritePage(0, page); err != nil { // growth: hdrDirty + dataDirty
+		t.Fatal(err)
+	}
+	if err := fm.WriteMeta([]byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	base := fsyncs()
+	if base < 1 {
+		t.Fatalf("WriteMeta after growth synced %v times, want >= 1", base)
+	}
+
+	// The regression: overwrite an existing page (no growth, header
+	// otherwise clean), then publish a new catalog. The page bytes must
+	// be synced before the header goes down.
+	page[0] = 0xAB
+	if err := fm.WritePage(0, page); err != nil {
+		t.Fatal(err)
+	}
+	if err := fm.WriteMeta([]byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	if got := fsyncs(); got != base+1 {
+		t.Fatalf("WriteMeta after in-place overwrite synced %v times total, want %v", got, base+1)
+	}
+
+	// No page writes since the last sync: publishing a catalog needs no
+	// data barrier.
+	if err := fm.WriteMeta([]byte("v3")); err != nil {
+		t.Fatal(err)
+	}
+	if got := fsyncs(); got != base+1 {
+		t.Fatalf("WriteMeta with clean data synced anyway (%v total, want %v)", got, base+1)
+	}
+}
+
+// TestTornPageWriteCannotHideBehindMeta uses the torn-write plan to play
+// the lying disk: a node page write persists only its first half, the
+// device acks it, and SaveTree publishes the catalog believing the save
+// succeeded. The guarantee under test is that the catalog cannot mask
+// the damage — a reopened file fails verification loudly (page checksum
+// at scrub and load) instead of serving a tree built on half-written
+// bytes.
+func TestTornPageWriteCannotHideBehindMeta(t *testing.T) {
+	oracle, err := rtree.New(updateTestParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle.InsertAll(randomItems(rand.New(rand.NewSource(11)), 60, 1))
+
+	path := filepath.Join(t.TempDir(), "torn.rt")
+	fm, err := CreateFile(path, updateTestPageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear the second page write a few bytes in — small nodes fit well
+	// inside half a page, so a half-page tear can be invisible; a
+	// header-sized stump never is. SaveTree writes every node page and
+	// then the catalog, so write 2 is always a node page.
+	fault := NewFaultManager(fm, 7).TornWrite(2, 12)
+	if err := SaveTree(fault, oracle); err != nil {
+		t.Fatalf("SaveTree through the lying disk should ack: %v", err)
+	}
+	if fault.FaultStats().TornWrites != 1 {
+		t.Fatalf("torn-write plan fired %d times, want 1", fault.FaultStats().TornWrites)
+	}
+	if err := fault.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	dm, err := OpenFile(path)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer dm.Close()
+	rep := Scrub(dm)
+	if rep.Clean() {
+		t.Fatal("scrub found nothing on a file with a torn page write")
+	}
+	if len(rep.Faults) == 0 {
+		t.Fatalf("scrub blamed no page, report: %v", rep)
+	}
+	if _, err := LoadTree(dm); err == nil {
+		t.Fatal("LoadTree accepted a tree with a torn node page")
+	}
+}

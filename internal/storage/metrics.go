@@ -29,6 +29,12 @@ type Metrics struct {
 
 	scrubPages  *obs.Counter
 	scrubFaults *obs.Counter
+
+	walRecords         *obs.Counter
+	walCommits         *obs.Counter
+	walCheckpoints     *obs.Counter
+	walReplayedPages   *obs.Counter
+	walReplayedBatches *obs.Counter
 }
 
 // NewMetrics registers the storage counter families in reg. A nil
@@ -58,6 +64,12 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 
 		scrubPages:  reg.Counter("storage_scrub_pages_total"),
 		scrubFaults: reg.Counter("storage_scrub_faults_total"),
+
+		walRecords:         reg.Counter("storage_wal_records_total"),
+		walCommits:         reg.Counter("storage_wal_commits_total"),
+		walCheckpoints:     reg.Counter("storage_wal_checkpoints_total"),
+		walReplayedPages:   reg.Counter("storage_wal_replayed_pages_total"),
+		walReplayedBatches: reg.Counter("storage_wal_replayed_batches_total"),
 	}
 }
 
@@ -103,6 +115,41 @@ func (m *Metrics) noteGiveup() {
 		return
 	}
 	m.giveups.Inc()
+}
+
+func (m *Metrics) noteWALRecord() {
+	if m == nil {
+		return
+	}
+	m.walRecords.Inc()
+}
+
+func (m *Metrics) noteWALCommit() {
+	if m == nil {
+		return
+	}
+	m.walCommits.Inc()
+}
+
+func (m *Metrics) noteWALCheckpoint() {
+	if m == nil {
+		return
+	}
+	m.walCheckpoints.Inc()
+}
+
+func (m *Metrics) noteWALReplayedPage() {
+	if m == nil {
+		return
+	}
+	m.walReplayedPages.Inc()
+}
+
+func (m *Metrics) noteWALReplayedBatch() {
+	if m == nil {
+		return
+	}
+	m.walReplayedBatches.Inc()
 }
 
 // Record mirrors a scrub pass into the metrics: pages scanned and faults

@@ -191,7 +191,7 @@ func (r *ResilientManager) ReadPage(page int, dst []byte) error {
 
 // WritePage implements DiskManager with transient-error retry.
 func (r *ResilientManager) WritePage(page int, data []byte) error {
-	return r.retry(func() error { return r.inner.WritePage(page, data) })
+	return r.retry(func() error { return r.inner.WritePage(page, data) }) //lint:allow hotalloc write-back is not the read hot path; the closure prices in with the I/O
 }
 
 // WriteMeta implements DiskManager with transient-error retry.
@@ -209,6 +209,11 @@ func (r *ResilientManager) ReadMeta() ([]byte, error) {
 	})
 	return out, err
 }
+
+// Sync forwards a durability barrier to the wrapped manager. Syncs are
+// not retried: a failed barrier means durability is unknown, which the
+// caller must treat as fatal rather than paper over.
+func (r *ResilientManager) Sync() error { return syncManager(r.inner) }
 
 // Stats implements DiskManager, delegating physical I/O accounting
 // (retried reads are physical reads and count as such).

@@ -56,9 +56,13 @@ func Scrub(dm DiskManager) ScrubReport {
 		return rep
 	}
 	rep.Pages = meta.NumPages()
-	if rep.Pages > dm.NumPages() {
+	if meta.PageSpan() > dm.NumPages() {
 		rep.MetaErr = fmt.Errorf("storage: catalog claims %d pages but only %d are allocated",
-			rep.Pages, dm.NumPages())
+			meta.PageSpan(), dm.NumPages())
+		return rep
+	}
+	if !meta.LevelOrder {
+		scrubWalk(dm, meta, &rep)
 		return rep
 	}
 	buf := make([]byte, dm.PageSize())
@@ -86,4 +90,68 @@ func Scrub(dm DiskManager) ScrubReport {
 		}
 	}
 	return rep
+}
+
+// scrubWalk verifies a non-level-order (updated) tree: live pages are
+// whatever the root reaches, free pages hold stale bytes and are never
+// read. The walk checks each child reference against the file span and
+// the free list, and flags pages reached twice (a cycle or shared
+// child would otherwise loop or double-count).
+func scrubWalk(dm DiskManager, meta TreeMeta, rep *ScrubReport) {
+	span := meta.PageSpan()
+	free := make(map[int]bool, len(meta.Free))
+	for _, p := range meta.Free {
+		free[p] = true
+	}
+	seen := make(map[int]bool, rep.Pages)
+	buf := make([]byte, dm.PageSize())
+	live := 0
+
+	var walk func(page int)
+	walk = func(page int) {
+		if seen[page] {
+			rep.Faults = append(rep.Faults, PageFault{
+				Page: page,
+				Err:  fmt.Errorf("storage: page reachable twice (cycle or shared child)"),
+			})
+			return
+		}
+		seen[page] = true
+		live++
+		if err := dm.ReadPage(page, buf); err != nil {
+			rep.Faults = append(rep.Faults, PageFault{Page: page, Err: err})
+			return
+		}
+		nd, err := DecodeNode(buf, page)
+		if err != nil {
+			rep.Faults = append(rep.Faults, PageFault{Page: page, Err: err})
+			return
+		}
+		if nd.Leaf {
+			return
+		}
+		for i, child := range nd.Children {
+			switch {
+			case child < 0 || child >= span:
+				rep.Faults = append(rep.Faults, PageFault{
+					Page: page,
+					Err: fmt.Errorf("storage: entry %d references out-of-range child page %d (file spans %d pages)",
+						i, child, span),
+				})
+			case free[child]:
+				rep.Faults = append(rep.Faults, PageFault{
+					Page: page,
+					Err:  fmt.Errorf("storage: entry %d references free page %d", i, child),
+				})
+			default:
+				walk(child)
+			}
+		}
+	}
+	walk(0)
+
+	if rep.MetaErr == nil && len(rep.Faults) == 0 && live != rep.Pages {
+		rep.MetaErr = fmt.Errorf("storage: catalog claims %d live pages but the root reaches %d",
+			rep.Pages, live)
+	}
 }

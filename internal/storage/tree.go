@@ -18,16 +18,43 @@ type TreeMeta struct {
 	MinEntries int
 	Split      rtree.SplitAlgorithm
 	Items      int   // number of data rectangles
-	Levels     []int // nodes per level, root first (pages of level i are contiguous)
+	Levels     []int // nodes per level, root first
+
+	// LevelOrder reports whether pages are numbered in level order
+	// (pages of level i contiguous, the layout SaveTree produces).
+	// In-place updates break this layout: a split allocates its new
+	// page at the end of the file (or from the free list), wherever
+	// that lands. Once false, LevelPageRange is meaningless and
+	// readers must walk from the root instead of scanning ranges.
+	LevelOrder bool
+
+	// TotalPages is the page span of the file, live and free pages
+	// together. Equal to NumPages() while LevelOrder holds.
+	TotalPages int
+
+	// Free lists pages released by node merges and root shrinks,
+	// available for reuse by later splits. Free pages hold stale
+	// bytes; no reader may visit them.
+	Free []int
 }
 
-// NumPages returns the total node pages.
+// NumPages returns the number of live node pages.
 func (m TreeMeta) NumPages() int {
 	n := 0
 	for _, c := range m.Levels {
 		n += c
 	}
 	return n
+}
+
+// PageSpan returns the page-number space of the file — the bound for
+// buffer sizing and page iteration. For level-order trees it equals
+// NumPages(); for updated trees it includes free pages.
+func (m TreeMeta) PageSpan() int {
+	if m.TotalPages > m.NumPages() {
+		return m.TotalPages
+	}
+	return m.NumPages()
 }
 
 // LevelPageRange returns the half-open page range [lo,hi) of the given
@@ -39,7 +66,12 @@ func (m TreeMeta) LevelPageRange(level int) (lo, hi int) {
 	return lo, lo + m.Levels[level]
 }
 
-const metaMagic = uint32(0x52545231) // "RTR1"
+const (
+	metaMagic   = uint32(0x52545231) // "RTR1": level-order layout
+	metaMagicV2 = uint32(0x52545232) // "RTR2": adds flags, page span, free list
+)
+
+const metaFlagLevelOrder = uint32(1 << 0)
 
 func encodeMeta(m TreeMeta) []byte {
 	buf := make([]byte, 0, 32+8*len(m.Levels))
@@ -64,25 +96,96 @@ func encodeMeta(m TreeMeta) []byte {
 	return buf
 }
 
+// encodeMetaV2 serializes the full catalog, including the layout flag,
+// page span, and free list the update path maintains. SaveTree keeps
+// writing v1 (its output is always level-order, and v1 files stay
+// readable by older tooling); the updater switches a tree to v2 on its
+// first committed batch.
+func encodeMetaV2(m TreeMeta) []byte {
+	buf := make([]byte, 0, 40+4*len(m.Levels)+4*len(m.Free))
+	var tmp [8]byte
+	put32 := func(v uint32) {
+		binary.LittleEndian.PutUint32(tmp[:4], v)
+		buf = append(buf, tmp[:4]...)
+	}
+	put64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(tmp[:8], v)
+		buf = append(buf, tmp[:8]...)
+	}
+	put32(metaMagicV2)
+	put32(uint32(m.MaxEntries))
+	put32(uint32(m.MinEntries))
+	put32(uint32(m.Split))
+	put64(uint64(m.Items))
+	var flags uint32
+	if m.LevelOrder {
+		flags |= metaFlagLevelOrder
+	}
+	put32(flags)
+	put32(uint32(m.PageSpan()))
+	put32(uint32(len(m.Levels)))
+	put32(uint32(len(m.Free)))
+	for _, c := range m.Levels {
+		put32(uint32(c))
+	}
+	for _, p := range m.Free {
+		put32(uint32(p))
+	}
+	return buf
+}
+
 func decodeMeta(buf []byte) (TreeMeta, error) {
 	var m TreeMeta
 	if len(buf) < 28 {
 		return m, fmt.Errorf("storage: tree metadata truncated (%d bytes)", len(buf))
 	}
-	if binary.LittleEndian.Uint32(buf[0:4]) != metaMagic {
+	magic := binary.LittleEndian.Uint32(buf[0:4])
+	if magic != metaMagic && magic != metaMagicV2 {
 		return m, fmt.Errorf("storage: bad tree metadata magic")
 	}
 	m.MaxEntries = int(binary.LittleEndian.Uint32(buf[4:8]))
 	m.MinEntries = int(binary.LittleEndian.Uint32(buf[8:12]))
 	m.Split = rtree.SplitAlgorithm(binary.LittleEndian.Uint32(buf[12:16]))
 	m.Items = int(binary.LittleEndian.Uint64(buf[16:24]))
-	n := int(binary.LittleEndian.Uint32(buf[24:28]))
-	if len(buf) < 28+4*n {
-		return m, fmt.Errorf("storage: tree metadata truncated (levels)")
+
+	if magic == metaMagic {
+		n := int(binary.LittleEndian.Uint32(buf[24:28]))
+		if n < 0 || len(buf) < 28+4*n {
+			return m, fmt.Errorf("storage: tree metadata truncated (levels)")
+		}
+		m.Levels = make([]int, n)
+		for i := 0; i < n; i++ {
+			m.Levels[i] = int(binary.LittleEndian.Uint32(buf[28+4*i:]))
+		}
+		m.LevelOrder = true
+		m.TotalPages = m.NumPages()
+		return m, nil
 	}
-	m.Levels = make([]int, n)
-	for i := 0; i < n; i++ {
-		m.Levels[i] = int(binary.LittleEndian.Uint32(buf[28+4*i:]))
+
+	if len(buf) < 40 {
+		return m, fmt.Errorf("storage: tree metadata truncated (%d bytes)", len(buf))
+	}
+	flags := binary.LittleEndian.Uint32(buf[24:28])
+	m.LevelOrder = flags&metaFlagLevelOrder != 0
+	m.TotalPages = int(binary.LittleEndian.Uint32(buf[28:32]))
+	nLevels := int(binary.LittleEndian.Uint32(buf[32:36]))
+	nFree := int(binary.LittleEndian.Uint32(buf[36:40]))
+	if nLevels < 0 || nFree < 0 || len(buf) < 40+4*nLevels+4*nFree {
+		return m, fmt.Errorf("storage: tree metadata truncated (levels/free)")
+	}
+	m.Levels = make([]int, nLevels)
+	for i := 0; i < nLevels; i++ {
+		m.Levels[i] = int(binary.LittleEndian.Uint32(buf[40+4*i:]))
+	}
+	if nFree > 0 {
+		m.Free = make([]int, nFree)
+		for i := 0; i < nFree; i++ {
+			m.Free[i] = int(binary.LittleEndian.Uint32(buf[40+4*nLevels+4*i:]))
+		}
+	}
+	if m.TotalPages < m.NumPages() {
+		return m, fmt.Errorf("storage: tree metadata inconsistent (%d total pages, %d live)",
+			m.TotalPages, m.NumPages())
 	}
 	return m, nil
 }
@@ -183,23 +286,66 @@ func LoadTree(dm DiskManager) (*rtree.Tree, error) {
 	if err != nil {
 		return nil, err
 	}
-	n := meta.NumPages()
-	nodes := make([]rtree.NodeData, n)
-	buf := make([]byte, dm.PageSize())
-	for page := 0; page < n; page++ {
-		if err := dm.ReadPage(page, buf); err != nil {
-			return nil, err
-		}
-		nodes[page], err = DecodeNode(buf, page)
-		if err != nil {
-			return nil, err
-		}
+	nodes, err := readLiveNodes(dm, meta)
+	if err != nil {
+		return nil, err
 	}
 	return rtree.ImportNodes(rtree.Params{
 		MaxEntries: meta.MaxEntries,
 		MinEntries: meta.MinEntries,
 		Split:      meta.Split,
 	}, nodes)
+}
+
+// readLiveNodes reads every live node page. Level-order trees are read
+// with one linear scan; updated trees are walked from the root, since
+// their files interleave live and free pages and free pages hold stale
+// bytes that must not be decoded.
+func readLiveNodes(dm DiskManager, meta TreeMeta) ([]rtree.NodeData, error) {
+	buf := make([]byte, dm.PageSize())
+	if meta.LevelOrder {
+		n := meta.NumPages()
+		nodes := make([]rtree.NodeData, n)
+		for page := 0; page < n; page++ {
+			if err := dm.ReadPage(page, buf); err != nil {
+				return nil, err
+			}
+			var err error
+			nodes[page], err = DecodeNode(buf, page)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return nodes, nil
+	}
+
+	span := meta.PageSpan()
+	nodes := make([]rtree.NodeData, 0, meta.NumPages())
+	seen := make(map[int]bool, meta.NumPages())
+	stack := []int{0}
+	for len(stack) > 0 {
+		page := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if page < 0 || page >= span {
+			return nil, fmt.Errorf("storage: child page %d outside file span %d", page, span)
+		}
+		if seen[page] {
+			return nil, fmt.Errorf("storage: page %d reachable twice (cycle or shared child)", page)
+		}
+		seen[page] = true
+		if err := dm.ReadPage(page, buf); err != nil {
+			return nil, err
+		}
+		nd, err := DecodeNode(buf, page)
+		if err != nil {
+			return nil, err
+		}
+		if !nd.Leaf {
+			stack = append(stack, nd.Children...)
+		}
+		nodes = append(nodes, nd)
+	}
+	return nodes, nil
 }
 
 // PagedTree executes R-tree queries directly against stored pages through
@@ -210,6 +356,11 @@ type PagedTree struct {
 	dm   DiskManager
 	pool *buffer.Pool
 	meta TreeMeta
+
+	// Update-path state, nil/zero on read-only trees (OpenPagedTree).
+	wal       *WAL             // write-ahead log; non-nil enables Insert/Delete
+	ckpt      CheckpointPolicy // when to truncate the log
+	updateErr error            // sticky: a half-applied commit poisons the handle
 }
 
 // dmSource adapts DiskManager to buffer.PageSource.
@@ -234,7 +385,7 @@ func OpenPagedTree(dm DiskManager, bufferPages int) (*PagedTree, error) {
 	}
 	return &PagedTree{
 		dm:   dm,
-		pool: buffer.NewPool(dmSource{dm}, bufferPages, meta.NumPages()),
+		pool: buffer.NewPool(dmSource{dm}, bufferPages, meta.PageSpan()),
 		meta: meta,
 	}, nil
 }
@@ -246,11 +397,15 @@ func (pt *PagedTree) Meta() TreeMeta { return pt.meta }
 func (pt *PagedTree) Pool() *buffer.Pool { return pt.pool }
 
 // PinLevels pins the top n levels of the tree in the buffer, the policy
-// studied in Section 5.5. Level pages are contiguous, so this pins pages
-// [0, pages(level<n)).
+// studied in Section 5.5. On a level-order tree level pages are
+// contiguous, so this pins pages [0, pages(level<n)); on an updated
+// tree it walks from the root to find them.
 func (pt *PagedTree) PinLevels(n int) error {
 	if n < 0 || n > len(pt.meta.Levels) {
 		return fmt.Errorf("storage: pin %d levels of a %d-level tree", n, len(pt.meta.Levels))
+	}
+	if !pt.meta.LevelOrder {
+		return pt.pinWalk(0, 0, n)
 	}
 	for level := 0; level < n; level++ {
 		lo, hi := pt.meta.LevelPageRange(level)
@@ -258,6 +413,36 @@ func (pt *PagedTree) PinLevels(n int) error {
 			if err := pt.pool.Pin(page); err != nil {
 				return fmt.Errorf("storage: pinning level %d: %w", level, err)
 			}
+		}
+	}
+	return nil
+}
+
+// pinWalk pins page (at the given depth) and recurses into its children
+// while depth+1 < n. Structure is read through the disk manager, not the
+// pool, so the discovery reads do not perturb hit/miss accounting — only
+// the Pin loads themselves touch the buffer, as in the level-order path.
+func (pt *PagedTree) pinWalk(page, depth, n int) error {
+	if err := pt.pool.Pin(page); err != nil {
+		return fmt.Errorf("storage: pinning level %d: %w", depth, err)
+	}
+	if depth+1 >= n || depth == len(pt.meta.Levels)-1 {
+		return nil
+	}
+	buf := make([]byte, pt.dm.PageSize())
+	if err := pt.dm.ReadPage(page, buf); err != nil {
+		return err
+	}
+	nd, err := DecodeNode(buf, page)
+	if err != nil {
+		return err
+	}
+	if nd.Leaf {
+		return nil
+	}
+	for _, child := range nd.Children {
+		if err := pt.pinWalk(child, depth+1, n); err != nil {
+			return err
 		}
 	}
 	return nil
@@ -423,6 +608,9 @@ func minDistSq(p geom.Point, r geom.Rect) float64 {
 // leaf level is the last contiguous page range, so this is one linear
 // pass of meta.Levels[last] page reads.
 func (pt *PagedTree) ScanLeaves(visit func(rtree.Item) error) error {
+	if !pt.meta.LevelOrder {
+		return pt.scanLeavesWalk(0, visit)
+	}
 	lo, hi := pt.meta.LevelPageRange(len(pt.meta.Levels) - 1)
 	for page := lo; page < hi; page++ {
 		frame, err := pt.pool.Get(page)
@@ -440,6 +628,35 @@ func (pt *PagedTree) ScanLeaves(visit func(rtree.Item) error) error {
 			if err := visit(rtree.Item{Rect: r, ID: nd.IDs[i]}); err != nil {
 				return err
 			}
+		}
+	}
+	return nil
+}
+
+// scanLeavesWalk visits every item of a non-level-order tree by DFS: the
+// leaf pages are scattered through the file, so the scan pays the same
+// page reads a full-window search would (through the pool, each miss one
+// counted access).
+func (pt *PagedTree) scanLeavesWalk(page int, visit func(rtree.Item) error) error {
+	frame, err := pt.pool.Get(page)
+	if err != nil {
+		return err
+	}
+	nd, err := DecodeNode(frame, page)
+	if err != nil {
+		return err
+	}
+	if nd.Leaf {
+		for i, r := range nd.Rects {
+			if err := visit(rtree.Item{Rect: r, ID: nd.IDs[i]}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, child := range nd.Children {
+		if err := pt.scanLeavesWalk(child, visit); err != nil {
+			return err
 		}
 	}
 	return nil

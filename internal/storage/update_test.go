@@ -1,0 +1,405 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"rtreebuf/internal/geom"
+	"rtreebuf/internal/rtree"
+)
+
+const updateTestPageSize = 512 // capacity 12 entries: small fan-out, deep trees
+
+func updateTestParams() rtree.Params {
+	return rtree.Params{MaxEntries: 8, MinEntries: 3, Split: rtree.SplitQuadratic}
+}
+
+func randomItems(rng *rand.Rand, n int, firstID int64) []rtree.Item {
+	items := make([]rtree.Item, n)
+	for i := range items {
+		x, y := rng.Float64()*100, rng.Float64()*100
+		items[i] = rtree.Item{
+			Rect: geom.Rect{MinX: x, MinY: y, MaxX: x + rng.Float64()*3, MaxY: y + rng.Float64()*3},
+			ID:   firstID + int64(i),
+		}
+	}
+	return items
+}
+
+// openUpdatable seeds a tree with items via SaveTree and reopens it
+// writable over in-memory page and log devices.
+func openUpdatable(t *testing.T, items []rtree.Item, bufferPages int) (*MemoryManager, *MemoryManager, *PagedTree) {
+	t.Helper()
+	oracle, err := rtree.New(updateTestParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle.InsertAll(items)
+	dm, err := NewMemoryManager(updateTestPageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveTree(dm, oracle); err != nil {
+		t.Fatal(err)
+	}
+	walDev, err := NewMemoryManager(updateTestPageSize + WALFrameOverhead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, rep, err := OpenPagedTreeWAL(dm, walDev, bufferPages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.NeededRecovery() {
+		t.Fatalf("fresh tree needed recovery: %s", rep.String())
+	}
+	return dm, walDev, pt
+}
+
+func sortedItems(items []rtree.Item) []rtree.Item {
+	out := append([]rtree.Item(nil), items...)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// assertQueryEquivalence runs a deterministic set of window queries
+// against both trees and requires identical result sets. This — not
+// structural identity — is the correctness bar: paged and in-memory
+// updates may legally shape the tree differently (orphan reinsertion
+// order), but every query must see exactly the same items.
+func assertQueryEquivalence(t *testing.T, pt *PagedTree, oracle *rtree.Tree, tag string) {
+	t.Helper()
+	queries := []geom.Rect{
+		{MinX: 0, MinY: 0, MaxX: 100, MaxY: 100},
+		{MinX: 10, MinY: 10, MaxX: 30, MaxY: 30},
+		{MinX: 45, MinY: 45, MaxX: 55, MaxY: 55},
+		{MinX: 80, MinY: 5, MaxX: 95, MaxY: 20},
+		{MinX: 33.3, MinY: 66.6, MaxX: 34.4, MaxY: 67.7},
+	}
+	for qi, q := range queries {
+		got, err := pt.SearchWindow(q)
+		if err != nil {
+			t.Fatalf("%s: query %d: %v", tag, qi, err)
+		}
+		want := oracle.SearchWindow(q)
+		g, w := sortedItems(got), sortedItems(want)
+		if len(g) != len(w) {
+			t.Fatalf("%s: query %d: got %d items, oracle has %d", tag, qi, len(g), len(w))
+		}
+		for i := range g {
+			if g[i].ID != w[i].ID || !g[i].Rect.Equal(w[i].Rect) {
+				t.Fatalf("%s: query %d: item %d differs: got %+v want %+v", tag, qi, i, g[i], w[i])
+			}
+		}
+	}
+}
+
+// assertDurableAndValid checks the committed on-disk state: it reloads
+// the tree from the page file alone (no WAL, no pool) and validates
+// every structural invariant strictly.
+func assertDurableAndValid(t *testing.T, dm DiskManager, wantItems int, tag string) {
+	t.Helper()
+	loaded, err := LoadTree(dm)
+	if err != nil {
+		t.Fatalf("%s: loading committed tree: %v", tag, err)
+	}
+	if err := rtree.ValidateTreeStrict(loaded); err != nil {
+		t.Fatalf("%s: committed tree invalid: %v", tag, err)
+	}
+	if loaded.Len() != wantItems {
+		t.Fatalf("%s: committed tree has %d items, want %d", tag, loaded.Len(), wantItems)
+	}
+	if rep := Scrub(dm); !rep.Clean() {
+		t.Fatalf("%s: scrub not clean: %s", tag, rep.String())
+	}
+}
+
+func TestPagedTreeInsertMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	seed := randomItems(rng, 40, 0)
+	dm, _, pt := openUpdatable(t, seed, 16)
+
+	oracle, err := rtree.New(updateTestParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle.InsertAll(seed)
+
+	extra := randomItems(rng, 200, 1000)
+	for i, it := range extra {
+		if err := pt.Insert(it); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+		oracle.Insert(it)
+	}
+	if got := pt.Meta().Items; got != 240 {
+		t.Fatalf("catalog says %d items, want 240", got)
+	}
+	assertQueryEquivalence(t, pt, oracle, "after inserts")
+	assertDurableAndValid(t, dm, 240, "after inserts")
+	if pt.Meta().LevelOrder {
+		t.Fatal("updated tree still claims level-order layout")
+	}
+}
+
+func TestPagedTreeDeleteMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	seed := randomItems(rng, 250, 0)
+	dm, _, pt := openUpdatable(t, seed, 16)
+
+	oracle, err := rtree.New(updateTestParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle.InsertAll(seed)
+
+	// Delete in shuffled order so condense hits many shapes: under-full
+	// leaves, cascading eliminations, root shrinks.
+	perm := rng.Perm(len(seed))
+	for i, pi := range perm[:180] {
+		it := seed[pi]
+		found, err := pt.Delete(it)
+		if err != nil {
+			t.Fatalf("delete %d: %v", i, err)
+		}
+		if !found {
+			t.Fatalf("delete %d: item %d not found", i, it.ID)
+		}
+		if !oracle.Delete(it) {
+			t.Fatalf("oracle lost item %d", it.ID)
+		}
+	}
+	if got := pt.Meta().Items; got != 70 {
+		t.Fatalf("catalog says %d items, want 70", got)
+	}
+	assertQueryEquivalence(t, pt, oracle, "after deletes")
+	assertDurableAndValid(t, dm, 70, "after deletes")
+
+	// Deleting a vanished item must be a no-op that logs nothing.
+	blocks := pt.WAL().LogBlocks()
+	found, err := pt.Delete(seed[perm[0]])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if found {
+		t.Fatal("deleted the same item twice")
+	}
+	if pt.WAL().LogBlocks() != blocks {
+		t.Fatal("not-found delete appended to the WAL")
+	}
+}
+
+func TestPagedTreeMixedWorkloadSurvivesReopen(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	seed := randomItems(rng, 60, 0)
+	dm, walDev, pt := openUpdatable(t, seed, 12)
+
+	oracle, err := rtree.New(updateTestParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle.InsertAll(seed)
+
+	live := append([]rtree.Item(nil), seed...)
+	nextID := int64(5000)
+	for op := 0; op < 300; op++ {
+		if len(live) == 0 || rng.Intn(3) != 0 {
+			it := randomItems(rng, 1, nextID)[0]
+			nextID++
+			if err := pt.Insert(it); err != nil {
+				t.Fatalf("op %d insert: %v", op, err)
+			}
+			oracle.Insert(it)
+			live = append(live, it)
+		} else {
+			i := rng.Intn(len(live))
+			it := live[i]
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+			found, err := pt.Delete(it)
+			if err != nil {
+				t.Fatalf("op %d delete: %v", op, err)
+			}
+			if !found {
+				t.Fatalf("op %d: live item %d not found", op, it.ID)
+			}
+			oracle.Delete(it)
+		}
+	}
+	assertQueryEquivalence(t, pt, oracle, "after mixed ops")
+	assertDurableAndValid(t, dm, len(live), "after mixed ops")
+
+	// A clean reopen over the same devices must find nothing to replay
+	// and serve identical results.
+	pt2, rep, err := OpenPagedTreeWAL(dm, walDev, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.NeededRecovery() {
+		t.Fatalf("clean reopen needed recovery: %s", rep.String())
+	}
+	assertQueryEquivalence(t, pt2, oracle, "after reopen")
+
+	// ScanLeaves on the updated (non-level-order) layout must still
+	// visit exactly the live items.
+	got := map[int64]int{}
+	if err := pt2.ScanLeaves(func(it rtree.Item) error { got[it.ID]++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(live) {
+		t.Fatalf("leaf scan saw %d distinct items, want %d", len(got), len(live))
+	}
+	for _, it := range live {
+		if got[it.ID] != 1 {
+			t.Fatalf("leaf scan saw item %d %d times", it.ID, got[it.ID])
+		}
+	}
+
+	// PinLevels must walk the scattered upper levels without error.
+	if err := pt2.PinLevels(len(pt2.Meta().Levels) - 1); err != nil {
+		t.Fatalf("pinning upper levels of updated tree: %v", err)
+	}
+}
+
+func TestPagedTreeGrowsFromSingleItem(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	seed := randomItems(rng, 1, 0)
+	dm, _, pt := openUpdatable(t, seed, 8)
+
+	oracle, err := rtree.New(updateTestParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle.InsertAll(seed)
+
+	extra := randomItems(rng, 120, 100)
+	for _, it := range extra {
+		if err := pt.Insert(it); err != nil {
+			t.Fatal(err)
+		}
+		oracle.Insert(it)
+	}
+	if levels := len(pt.Meta().Levels); levels < 3 {
+		t.Fatalf("tree only grew to %d levels; root splits untested", levels)
+	}
+	assertQueryEquivalence(t, pt, oracle, "after growth")
+	assertDurableAndValid(t, dm, 121, "after growth")
+}
+
+func TestPagedTreeDrainsToEmptyRoot(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	seed := randomItems(rng, 90, 0)
+	dm, _, pt := openUpdatable(t, seed, 8)
+
+	for _, it := range seed {
+		found, err := pt.Delete(it)
+		if err != nil {
+			t.Fatalf("deleting item %d: %v", it.ID, err)
+		}
+		if !found {
+			t.Fatalf("item %d vanished early", it.ID)
+		}
+	}
+	if got := pt.Meta().Items; got != 0 {
+		t.Fatalf("drained tree claims %d items", got)
+	}
+	if levels := len(pt.Meta().Levels); levels != 1 {
+		t.Fatalf("drained tree has %d levels, want 1 (empty root leaf)", levels)
+	}
+	out, err := pt.SearchWindow(geom.Rect{MinX: 0, MinY: 0, MaxX: 100, MaxY: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 0 {
+		t.Fatalf("drained tree still answers %d items", len(out))
+	}
+	if rep := Scrub(dm); !rep.Clean() {
+		t.Fatalf("scrub after drain: %s", rep.String())
+	}
+	// Refill: freed pages must be reusable.
+	refill := randomItems(rng, 50, 9000)
+	for _, it := range refill {
+		if err := pt.Insert(it); err != nil {
+			t.Fatal(err)
+		}
+	}
+	assertDurableAndValid(t, dm, 50, "after refill")
+}
+
+func TestReadOnlyPagedTreeRejectsUpdates(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	seed := randomItems(rng, 20, 0)
+	oracle, err := rtree.New(updateTestParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle.InsertAll(seed)
+	dm, err := NewMemoryManager(updateTestPageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveTree(dm, oracle); err != nil {
+		t.Fatal(err)
+	}
+	pt, err := OpenPagedTree(dm, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pt.Insert(seed[0]); !errors.Is(err, ErrReadOnlyTree) {
+		t.Fatalf("Insert on read-only tree: %v", err)
+	}
+	if _, err := pt.Delete(seed[0]); !errors.Is(err, ErrReadOnlyTree) {
+		t.Fatalf("Delete on read-only tree: %v", err)
+	}
+}
+
+func TestUpdatedMetaRoundTrips(t *testing.T) {
+	m := TreeMeta{
+		MaxEntries: 16,
+		MinEntries: 6,
+		Split:      rtree.SplitLinear,
+		Items:      12345,
+		Levels:     []int{1, 4, 30},
+		LevelOrder: false,
+		TotalPages: 41,
+		Free:       []int{7, 19, 3},
+	}
+	got, err := decodeMeta(encodeMetaV2(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprintf("%+v", got) != fmt.Sprintf("%+v", m) {
+		t.Fatalf("v2 meta round trip:\n got %+v\nwant %+v", got, m)
+	}
+
+	// v1 blobs must decode as level-order with a matching span.
+	v1 := TreeMeta{MaxEntries: 8, MinEntries: 3, Items: 99, Levels: []int{1, 9}}
+	got, err = decodeMeta(encodeMeta(v1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.LevelOrder || got.TotalPages != 10 || got.PageSpan() != 10 {
+		t.Fatalf("v1 meta decoded as %+v", got)
+	}
+}
+
+func TestFreeListCapLeaksInsteadOfOverflowing(t *testing.T) {
+	maxLen := maxFreeListLen(updateTestPageSize, 3)
+	m := TreeMeta{Levels: []int{1, 1, 1}, TotalPages: 3}
+	for p := 0; p < maxLen+10; p++ {
+		m.Free = append(m.Free, 100+p)
+		m.TotalPages++
+	}
+	m.Free = m.Free[:maxLen]
+	blob := encodeMetaV2(m)
+	if len(blob) > updateTestPageSize-24 {
+		t.Fatalf("capped v2 meta is %d bytes; exceeds the %d-byte metadata capacity",
+			len(blob), updateTestPageSize-24)
+	}
+	if _, err := decodeMeta(blob); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,383 @@
+package storage
+
+import (
+	"bytes"
+	"testing"
+)
+
+const walTestPageSize = 256
+
+// newWALPair returns a fresh in-memory page device and an initialized WAL
+// over its own in-memory log device.
+func newWALPair(t *testing.T) (*MemoryManager, *MemoryManager, *WAL) {
+	t.Helper()
+	main, err := NewMemoryManager(walTestPageSize)
+	if err != nil {
+		t.Fatalf("NewMemoryManager: %v", err)
+	}
+	logDev, err := NewMemoryManager(walTestPageSize + WALFrameOverhead)
+	if err != nil {
+		t.Fatalf("NewMemoryManager(log): %v", err)
+	}
+	w, err := CreateWAL(logDev, walTestPageSize)
+	if err != nil {
+		t.Fatalf("CreateWAL: %v", err)
+	}
+	return main, logDev, w
+}
+
+// testImage builds a deterministic page image whose bytes depend on the
+// page number and a generation tag, so replayed contents are checkable.
+func testImage(page int, gen byte) PageImage {
+	data := make([]byte, walTestPageSize)
+	for i := range data {
+		data[i] = byte(page)*7 + gen + byte(i)
+	}
+	return PageImage{Page: page, Data: data}
+}
+
+func assertPage(t *testing.T, dm DiskManager, img PageImage) {
+	t.Helper()
+	got := make([]byte, dm.PageSize())
+	if err := dm.ReadPage(img.Page, got); err != nil {
+		t.Fatalf("ReadPage(%d): %v", img.Page, err)
+	}
+	if !bytes.Equal(got, img.Data) {
+		t.Fatalf("page %d contents differ from logged image", img.Page)
+	}
+}
+
+func TestWALAppendRecoverRoundTrip(t *testing.T) {
+	main, logDev, w := newWALPair(t)
+	imgs := []PageImage{testImage(0, 1), testImage(2, 1), testImage(1, 1)}
+	meta := []byte("catalog-after-batch-1")
+	id, err := w.AppendBatch(imgs, meta)
+	if err != nil {
+		t.Fatalf("AppendBatch: %v", err)
+	}
+	if id != 1 {
+		t.Fatalf("first batch ID = %d, want 1", id)
+	}
+	// Simulate a crash before any write-back: reopen the log from the
+	// device alone and recover into the untouched page file.
+	w2, err := OpenWAL(logDev, walTestPageSize)
+	if err != nil {
+		t.Fatalf("OpenWAL: %v", err)
+	}
+	insp := InspectWAL(w2)
+	if !insp.MetaIntact || insp.CommittedBatches != 1 || insp.PendingBatches != 1 {
+		t.Fatalf("inspect = %+v, want 1 committed pending batch with intact meta", insp)
+	}
+	rep, err := Recover(main, w2)
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if rep.ReplayedBatches != 1 || rep.ReplayedPages != len(imgs) {
+		t.Fatalf("report = %+v, want 1 batch / %d pages replayed", rep, len(imgs))
+	}
+	for _, img := range imgs {
+		assertPage(t, main, img)
+	}
+	gotMeta, err := main.ReadMeta()
+	if err != nil || !bytes.Equal(gotMeta, meta) {
+		t.Fatalf("ReadMeta = %q, %v; want %q", gotMeta, err, meta)
+	}
+	// Replay is idempotent and the checkpoint empties the live log.
+	rep2, err := Recover(main, w2)
+	if err != nil {
+		t.Fatalf("second Recover: %v", err)
+	}
+	if rep2.ReplayedBatches != 0 || rep2.NeededRecovery() {
+		t.Fatalf("second recovery replayed %d batches, want 0", rep2.ReplayedBatches)
+	}
+	if w2.LogBlocks() != 0 {
+		t.Fatalf("LogBlocks after full checkpoint = %d, want 0", w2.LogBlocks())
+	}
+}
+
+func TestWALMultiBatchReplayOrder(t *testing.T) {
+	main, logDev, w := newWALPair(t)
+	// Batch 1 and 2 both touch page 0; replay must leave batch 2's image.
+	if _, err := w.AppendBatch([]PageImage{testImage(0, 1)}, []byte("m1")); err != nil {
+		t.Fatalf("AppendBatch 1: %v", err)
+	}
+	if _, err := w.AppendBatch([]PageImage{testImage(0, 2), testImage(1, 2)}, []byte("m2")); err != nil {
+		t.Fatalf("AppendBatch 2: %v", err)
+	}
+	w2, err := OpenWAL(logDev, walTestPageSize)
+	if err != nil {
+		t.Fatalf("OpenWAL: %v", err)
+	}
+	rep, err := Recover(main, w2)
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if rep.ReplayedBatches != 2 || rep.ReplayedPages != 3 {
+		t.Fatalf("report = %+v, want 2 batches / 3 pages", rep)
+	}
+	assertPage(t, main, testImage(0, 2))
+	assertPage(t, main, testImage(1, 2))
+	if gotMeta, _ := main.ReadMeta(); !bytes.Equal(gotMeta, []byte("m2")) {
+		t.Fatalf("meta = %q, want last batch's catalog", gotMeta)
+	}
+}
+
+func TestWALUncommittedTailDiscarded(t *testing.T) {
+	main, logDev, w := newWALPair(t)
+	if _, err := w.AppendBatch([]PageImage{testImage(0, 1)}, []byte("m1")); err != nil {
+		t.Fatalf("AppendBatch: %v", err)
+	}
+	if _, err := Recover(main, w); err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	// Batch 2 crashes after its first image: the log device goes
+	// fail-stop before the commit record, so the horizon never moves.
+	fdev := NewFaultManager(logDev, 1).CrashAfterWrites(1)
+	wf := &WAL{dev: fdev, dataPageSize: walTestPageSize,
+		nextSeq: w.nextSeq, committedSeq: w.committedSeq,
+		appliedBatch: w.appliedBatch, nextBatch: w.nextBatch, writeBlock: w.writeBlock}
+	if _, err := wf.AppendBatch([]PageImage{testImage(5, 2), testImage(6, 2)}, []byte("m2")); err == nil {
+		t.Fatal("AppendBatch across a crash point succeeded")
+	}
+	// Reopen from the raw device, as after a real crash.
+	w2, err := OpenWAL(logDev, walTestPageSize)
+	if err != nil {
+		t.Fatalf("OpenWAL: %v", err)
+	}
+	insp := InspectWAL(w2)
+	if insp.PendingBatches != 0 || insp.DiscardedRecords == 0 {
+		t.Fatalf("inspect = %+v, want no pending batches and discarded debris", insp)
+	}
+	rep, err := Recover(main, w2)
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if rep.ReplayedBatches != 0 {
+		t.Fatalf("replayed %d batches from an uncommitted tail", rep.ReplayedBatches)
+	}
+	// Pre-crash state is intact and the debris is truncated: the next
+	// batch lands at block 0 and commits normally.
+	assertPage(t, main, testImage(0, 1))
+	if w2.LogBlocks() != 0 {
+		t.Fatalf("LogBlocks after recovery = %d, want 0", w2.LogBlocks())
+	}
+	if _, err := w2.AppendBatch([]PageImage{testImage(7, 3)}, []byte("m3")); err != nil {
+		t.Fatalf("AppendBatch after recovery: %v", err)
+	}
+}
+
+func TestWALTornCommitRecordFlagged(t *testing.T) {
+	_, logDev, w := newWALPair(t)
+	// The device acks the commit record but persists only a prefix
+	// (write 2 of the batch: image, then commit). The meta write then
+	// advances the horizon over a record that cannot parse.
+	fdev := NewFaultManager(logDev, 1).TornWrite(2, 10)
+	wf := &WAL{dev: fdev, dataPageSize: walTestPageSize, nextSeq: 1, nextBatch: 1}
+	if _, err := wf.AppendBatch([]PageImage{testImage(0, 1)}, []byte("m1")); err != nil {
+		t.Fatalf("AppendBatch over torn device: %v", err)
+	}
+	w2, err := OpenWAL(logDev, walTestPageSize)
+	if err != nil {
+		t.Fatalf("OpenWAL: %v", err)
+	}
+	insp := InspectWAL(w2)
+	if !insp.IncompleteCommit {
+		t.Fatalf("inspect = %+v, want IncompleteCommit for a torn committed record", insp)
+	}
+	if insp.CommittedBatches != 0 {
+		t.Fatalf("%d committed batches parsed from a torn commit", insp.CommittedBatches)
+	}
+	_ = w
+}
+
+func TestWALCorruptMetaTolerated(t *testing.T) {
+	_, logDev, w := newWALPair(t)
+	if _, err := w.AppendBatch([]PageImage{testImage(0, 1)}, []byte("m1")); err != nil {
+		t.Fatalf("AppendBatch: %v", err)
+	}
+	if err := logDev.WriteMeta([]byte("garbage")); err != nil {
+		t.Fatalf("WriteMeta: %v", err)
+	}
+	w2, err := OpenWAL(logDev, walTestPageSize)
+	if err != nil {
+		t.Fatalf("OpenWAL with corrupt meta: %v", err)
+	}
+	insp := InspectWAL(w2)
+	if insp.MetaIntact {
+		t.Fatal("corrupt meta reported intact")
+	}
+	// Without a horizon nothing is committed: the records are debris.
+	if insp.CommittedBatches != 0 || insp.DiscardedRecords == 0 {
+		t.Fatalf("inspect = %+v, want zero committed and nonzero discarded", insp)
+	}
+}
+
+func TestWALAppendRollsBackOnWriteFailure(t *testing.T) {
+	main, logDev, w := newWALPair(t)
+	// Every 4th write fails transiently. Batch of one page = three writes
+	// (image, commit record, meta), so: batch 1 commits (writes 1-3),
+	// batch 2's image fails (write 4) and must roll back, the retry
+	// commits (writes 5-7).
+	fdev := NewFaultManager(logDev, 1).FailEveryNthWrite(4)
+	wf := &WAL{dev: fdev, dataPageSize: walTestPageSize,
+		nextSeq: w.nextSeq, committedSeq: w.committedSeq,
+		appliedBatch: w.appliedBatch, nextBatch: w.nextBatch, writeBlock: w.writeBlock}
+	if _, err := wf.AppendBatch([]PageImage{testImage(0, 1)}, []byte("m1")); err != nil {
+		t.Fatalf("AppendBatch 1: %v", err)
+	}
+	seq, blk := wf.nextSeq, wf.writeBlock
+	if _, err := wf.AppendBatch([]PageImage{testImage(1, 2)}, []byte("m2")); err == nil {
+		t.Fatal("AppendBatch across an injected write fault succeeded")
+	}
+	if wf.nextSeq != seq || wf.writeBlock != blk {
+		t.Fatalf("positions not rolled back: seq %d->%d, block %d->%d", seq, wf.nextSeq, blk, wf.writeBlock)
+	}
+	if _, err := wf.AppendBatch([]PageImage{testImage(1, 2)}, []byte("m2")); err != nil {
+		t.Fatalf("AppendBatch retry: %v", err)
+	}
+	// The log parses cleanly end to end and replays both batches.
+	w2, err := OpenWAL(logDev, walTestPageSize)
+	if err != nil {
+		t.Fatalf("OpenWAL: %v", err)
+	}
+	rep, err := Recover(main, w2)
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if rep.ReplayedBatches != 2 {
+		t.Fatalf("replayed %d batches, want 2", rep.ReplayedBatches)
+	}
+	assertPage(t, main, testImage(0, 1))
+	assertPage(t, main, testImage(1, 2))
+}
+
+func TestWALRecoverCrashMidReplayIsIdempotent(t *testing.T) {
+	mainInner, logDev, w := newWALPair(t)
+	if _, err := w.AppendBatch([]PageImage{testImage(0, 1), testImage(1, 1), testImage(2, 1)}, []byte("m1")); err != nil {
+		t.Fatalf("AppendBatch: %v", err)
+	}
+	// First recovery attempt crashes after one page write-back.
+	crashMain := NewFaultManager(mainInner, 1).CrashAfterWrites(1)
+	w2, err := OpenWAL(logDev, walTestPageSize)
+	if err != nil {
+		t.Fatalf("OpenWAL: %v", err)
+	}
+	if _, err := Recover(crashMain, w2); err == nil {
+		t.Fatal("Recover across a crash point succeeded")
+	}
+	// Second attempt over the reopened devices completes and the result
+	// is exactly the post-batch state.
+	w3, err := OpenWAL(logDev, walTestPageSize)
+	if err != nil {
+		t.Fatalf("reopen WAL: %v", err)
+	}
+	if !InspectWAL(w3).NeededRecovery() {
+		t.Fatal("pending batch lost after crashed recovery")
+	}
+	rep, err := Recover(mainInner, w3)
+	if err != nil {
+		t.Fatalf("second Recover: %v", err)
+	}
+	if rep.ReplayedBatches != 1 || rep.ReplayedPages != 3 {
+		t.Fatalf("report = %+v, want full replay of 1 batch / 3 pages", rep)
+	}
+	for p := 0; p < 3; p++ {
+		assertPage(t, mainInner, testImage(p, 1))
+	}
+}
+
+func TestWALCheckpointPolicy(t *testing.T) {
+	_, _, w := newWALPair(t)
+	zero := CheckpointPolicy{}
+	if zero.Due(w) {
+		t.Fatal("zero policy due on an empty log")
+	}
+	if _, err := w.AppendBatch([]PageImage{testImage(0, 1)}, []byte("m")); err != nil {
+		t.Fatalf("AppendBatch: %v", err)
+	}
+	if !zero.Due(w) {
+		t.Fatal("zero policy not due after a batch")
+	}
+	every3 := CheckpointPolicy{EveryBatches: 3}
+	if every3.Due(w) {
+		t.Fatal("EveryBatches=3 due after 1 batch")
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := w.AppendBatch([]PageImage{testImage(i+1, 1)}, []byte("m")); err != nil {
+			t.Fatalf("AppendBatch: %v", err)
+		}
+	}
+	if !every3.Due(w) {
+		t.Fatal("EveryBatches=3 not due after 3 batches")
+	}
+	byBlocks := CheckpointPolicy{EveryBatches: 100, MaxLogBlocks: 2}
+	if !byBlocks.Due(w) {
+		t.Fatalf("MaxLogBlocks=2 not due with %d live blocks", w.LogBlocks())
+	}
+	if err := w.Checkpoint(w.nextBatch - 1); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	if w.LogBlocks() != 0 || zero.Due(w) || byBlocks.Due(w) {
+		t.Fatalf("checkpoint did not reset the log (blocks=%d)", w.LogBlocks())
+	}
+	if err := w.Checkpoint(0); err == nil {
+		t.Fatal("backwards checkpoint watermark accepted")
+	}
+}
+
+func TestWALOverwrittenGenerationsIgnored(t *testing.T) {
+	main, logDev, w := newWALPair(t)
+	// Fill three blocks, checkpoint (write position back to 0), then
+	// commit a shorter batch. Blocks 2 of the old generation survives on
+	// the device but its seq is below the new records — the scan must not
+	// resurrect it.
+	if _, err := w.AppendBatch([]PageImage{testImage(0, 1), testImage(1, 1)}, []byte("m1")); err != nil {
+		t.Fatalf("AppendBatch: %v", err)
+	}
+	if _, err := Recover(main, w); err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if _, err := w.AppendBatch([]PageImage{testImage(0, 2)}, []byte("m2")); err != nil {
+		t.Fatalf("AppendBatch 2: %v", err)
+	}
+	w2, err := OpenWAL(logDev, walTestPageSize)
+	if err != nil {
+		t.Fatalf("OpenWAL: %v", err)
+	}
+	rep, err := Recover(main, w2)
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if rep.ReplayedBatches != 1 || rep.ReplayedPages != 1 {
+		t.Fatalf("report = %+v, want exactly the second batch replayed", rep)
+	}
+	assertPage(t, main, testImage(0, 2))
+	assertPage(t, main, testImage(1, 1))
+	if gotMeta, _ := main.ReadMeta(); !bytes.Equal(gotMeta, []byte("m2")) {
+		t.Fatalf("meta = %q, want m2", gotMeta)
+	}
+}
+
+func TestWALRejectsBadInput(t *testing.T) {
+	_, logDev, w := newWALPair(t)
+	if _, err := w.AppendBatch(nil, []byte("m")); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+	if _, err := w.AppendBatch([]PageImage{{Page: 0, Data: make([]byte, 8)}}, []byte("m")); err == nil {
+		t.Fatal("short page image accepted")
+	}
+	big := make([]byte, logDev.PageSize())
+	if _, err := w.AppendBatch([]PageImage{testImage(0, 1)}, big); err == nil {
+		t.Fatal("oversized catalog accepted")
+	}
+	small, _ := NewMemoryManager(walTestPageSize)
+	if _, err := CreateWAL(small, walTestPageSize); err == nil {
+		t.Fatal("CreateWAL on an undersized device accepted")
+	}
+	if _, err := w.AppendBatch([]PageImage{testImage(0, 1)}, []byte("m")); err != nil {
+		t.Fatalf("AppendBatch: %v", err)
+	}
+	if _, err := CreateWAL(logDev, walTestPageSize); err == nil {
+		t.Fatal("CreateWAL on a non-empty device accepted")
+	}
+}
