@@ -30,11 +30,12 @@ type Metrics struct {
 	scrubPages  *obs.Counter
 	scrubFaults *obs.Counter
 
-	walRecords         *obs.Counter
-	walCommits         *obs.Counter
-	walCheckpoints     *obs.Counter
-	walReplayedPages   *obs.Counter
-	walReplayedBatches *obs.Counter
+	walRecords            *obs.Counter
+	walCommits            *obs.Counter
+	walCheckpoints        *obs.Counter
+	walCheckpointFailures *obs.Counter
+	walReplayedPages      *obs.Counter
+	walReplayedBatches    *obs.Counter
 }
 
 // NewMetrics registers the storage counter families in reg. A nil
@@ -65,11 +66,12 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 		scrubPages:  reg.Counter("storage_scrub_pages_total"),
 		scrubFaults: reg.Counter("storage_scrub_faults_total"),
 
-		walRecords:         reg.Counter("storage_wal_records_total"),
-		walCommits:         reg.Counter("storage_wal_commits_total"),
-		walCheckpoints:     reg.Counter("storage_wal_checkpoints_total"),
-		walReplayedPages:   reg.Counter("storage_wal_replayed_pages_total"),
-		walReplayedBatches: reg.Counter("storage_wal_replayed_batches_total"),
+		walRecords:            reg.Counter("storage_wal_records_total"),
+		walCommits:            reg.Counter("storage_wal_commits_total"),
+		walCheckpoints:        reg.Counter("storage_wal_checkpoints_total"),
+		walCheckpointFailures: reg.Counter("storage_wal_checkpoint_failures_total"),
+		walReplayedPages:      reg.Counter("storage_wal_replayed_pages_total"),
+		walReplayedBatches:    reg.Counter("storage_wal_replayed_batches_total"),
 	}
 }
 
@@ -136,6 +138,13 @@ func (m *Metrics) noteWALCheckpoint() {
 		return
 	}
 	m.walCheckpoints.Inc()
+}
+
+func (m *Metrics) noteWALCheckpointFailure() {
+	if m == nil {
+		return
+	}
+	m.walCheckpointFailures.Inc()
 }
 
 func (m *Metrics) noteWALReplayedPage() {

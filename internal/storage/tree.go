@@ -361,6 +361,7 @@ type PagedTree struct {
 	wal       *WAL             // write-ahead log; non-nil enables Insert/Delete
 	ckpt      CheckpointPolicy // when to truncate the log
 	updateErr error            // sticky: a half-applied commit poisons the handle
+	ckptErr   error            // sticky warning: last due checkpoint failed; the op still committed
 }
 
 // dmSource adapts DiskManager to buffer.PageSource.

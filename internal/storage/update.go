@@ -23,10 +23,12 @@ import (
 //	5. checkpoint when the policy says the log has earned truncation
 //
 // A failure before step 1 completes leaves the tree exactly as it was
-// (staging is discarded, the WAL rolls back its tail). A failure after
-// step 1 leaves a committed batch that Recover replays on reopen; the
+// (staging is discarded, the WAL rolls back its tail). A failure in
+// steps 2-4 leaves a committed batch that Recover replays on reopen; the
 // in-process handle is poisoned (sticky updateErr) because its pool and
-// file now disagree.
+// file now disagree. A failure in step 5 is not an operation failure at
+// all — the batch is durable and applied — so it surfaces as a sticky
+// CheckpointErr warning rather than an error return.
 //
 // Updates abandon the level-order page layout SaveTree produces: a split
 // allocates the next free page wherever it lands, and a merge returns
@@ -82,6 +84,13 @@ func (pt *PagedTree) SetCheckpointPolicy(p CheckpointPolicy) { pt.ckpt = p }
 // non-nil value means a commit half-applied: the WAL holds the batch but
 // the in-process state is stale. Reopen with OpenPagedTreeWAL to recover.
 func (pt *PagedTree) UpdateErr() error { return pt.updateErr }
+
+// CheckpointErr returns the sticky checkpoint warning, if any. A non-nil
+// value means the most recent due checkpoint could not truncate the log:
+// every operation still committed and applied — no data is at risk and
+// no retry is needed — but recovery would replay a longer log than the
+// policy wants. Cleared by the next successful checkpoint.
+func (pt *PagedTree) CheckpointErr() error { return pt.ckptErr }
 
 // Insert adds one item, running Guttman's ChooseLeaf / split /
 // AdjustTree against stored pages. The change is durable (or cleanly
@@ -540,8 +549,10 @@ func maxFreeListLen(pageSize, nLevels int) int {
 
 // commitUpdate runs the commit sequence described at the top of the
 // file. On a WAL append failure the staged operation is discarded and
-// the stored tree is untouched; on any failure after the WAL commit the
-// handle is poisoned (the log has the truth, the process does not).
+// the stored tree is untouched; on a write-back or catalog failure after
+// the WAL commit the handle is poisoned (the log has the truth, the
+// process does not). Checkpoint-stage failures return nil: the operation
+// committed, so they are recorded in CheckpointErr instead.
 func (pt *PagedTree) commitUpdate(u *updater) error {
 	// The operation abandons level order the moment it commits.
 	u.meta.LevelOrder = false
@@ -593,14 +604,21 @@ func (pt *PagedTree) commitUpdate(u *updater) error {
 
 	if pt.ckpt.Due(pt.wal) {
 		// The log may only be truncated once the page writes are
-		// durable, not merely issued.
+		// durable, not merely issued. A failure from here on is NOT an
+		// operation failure — the batch is committed, applied, and would
+		// survive any crash; the log is merely longer than the policy
+		// wants, so recovery replays more. Returning an error would make
+		// a committed Insert look failed and invite a duplicating retry,
+		// so the warning goes out of band: sticky CheckpointErr plus a
+		// metrics counter, cleared by the next checkpoint that succeeds.
 		if err := syncManager(pt.dm); err != nil {
-			return fmt.Errorf("storage: sync before checkpoint: %w", err)
-		}
-		if err := pt.wal.Checkpoint(batch); err != nil {
-			// Not fatal: the data is safe, the log is just longer than
-			// the policy wants; recovery replays more.
-			return fmt.Errorf("storage: checkpointing batch %d: %w", batch, err)
+			pt.ckptErr = fmt.Errorf("storage: sync before checkpoint of batch %d: %w", batch, err)
+			pt.wal.metrics.noteWALCheckpointFailure()
+		} else if err := pt.wal.Checkpoint(batch); err != nil {
+			pt.ckptErr = fmt.Errorf("storage: checkpointing batch %d: %w", batch, err)
+			pt.wal.metrics.noteWALCheckpointFailure()
+		} else {
+			pt.ckptErr = nil
 		}
 	}
 	return nil

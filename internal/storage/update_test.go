@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"rtreebuf/internal/geom"
+	"rtreebuf/internal/obs"
 	"rtreebuf/internal/rtree"
 )
 
@@ -383,6 +384,106 @@ func TestUpdatedMetaRoundTrips(t *testing.T) {
 	}
 	if !got.LevelOrder || got.TotalPages != 10 || got.PageSpan() != 10 {
 		t.Fatalf("v1 meta decoded as %+v", got)
+	}
+}
+
+// failSyncManager wraps a DiskManager with a switchable Sync failure:
+// page and meta writes always succeed, so the only step that can fail
+// in a commit is the durability barrier before a checkpoint.
+type failSyncManager struct {
+	DiskManager
+	failSync bool
+}
+
+func (f *failSyncManager) Sync() error {
+	if f.failSync {
+		return errors.New("injected sync failure")
+	}
+	return nil
+}
+
+// Regression: a checkpoint-stage failure after the batch was durably
+// committed and fully applied used to surface as an error return from
+// Insert, indistinguishable from a pre-commit failure — a caller
+// retrying would duplicate the entry. It must return nil and surface
+// the warning out of band (CheckpointErr + metrics).
+func TestCheckpointFailureDoesNotFailCommittedOperation(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	seed := randomItems(rng, 30, 0)
+	oracle, err := rtree.New(updateTestParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle.InsertAll(seed)
+	inner, err := NewMemoryManager(updateTestPageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveTree(inner, oracle); err != nil {
+		t.Fatal(err)
+	}
+	dm := &failSyncManager{DiskManager: inner}
+	walDev, err := NewMemoryManager(updateTestPageSize + WALFrameOverhead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, _, err := OpenPagedTreeWAL(dm, walDev, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	pt.WAL().SetMetrics(NewMetrics(reg))
+
+	extra := randomItems(rng, 3, 1000)
+	if err := pt.Insert(extra[0]); err != nil {
+		t.Fatalf("baseline Insert: %v", err)
+	}
+	if pt.CheckpointErr() != nil {
+		t.Fatalf("baseline checkpoint failed: %v", pt.CheckpointErr())
+	}
+
+	dm.failSync = true
+	if err := pt.Insert(extra[1]); err != nil {
+		t.Fatalf("Insert with failing checkpoint sync returned %v; the operation committed", err)
+	}
+	if pt.CheckpointErr() == nil {
+		t.Fatal("checkpoint failure not recorded in CheckpointErr")
+	}
+	if pt.UpdateErr() != nil {
+		t.Fatalf("handle poisoned by a checkpoint-stage failure: %v", pt.UpdateErr())
+	}
+	if got := reg.Counter("storage_wal_checkpoint_failures_total").Value(); got != 1 {
+		t.Fatalf("checkpoint failure counter = %d, want 1", got)
+	}
+	// The operation is durable and fully applied despite the warning.
+	assertDurableAndValid(t, inner, len(seed)+2, "after failed checkpoint")
+
+	// Once syncs recover, the next operation checkpoints, truncates the
+	// log, and clears the warning.
+	dm.failSync = false
+	if err := pt.Insert(extra[2]); err != nil {
+		t.Fatalf("Insert after sync recovered: %v", err)
+	}
+	if pt.CheckpointErr() != nil {
+		t.Fatalf("checkpoint warning not cleared: %v", pt.CheckpointErr())
+	}
+	if pt.WAL().LogBlocks() != 0 {
+		t.Fatalf("log not truncated after recovered checkpoint (%d live blocks)", pt.WAL().LogBlocks())
+	}
+
+	// No duplicate entries: each inserted item appears exactly once.
+	got, err := pt.SearchWindow(geom.Rect{MinX: -10, MinY: -10, MaxX: 200, MaxY: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[int64]int)
+	for _, it := range got {
+		counts[it.ID]++
+	}
+	for _, it := range extra {
+		if counts[it.ID] != 1 {
+			t.Fatalf("item %d appears %d times, want 1", it.ID, counts[it.ID])
+		}
 	}
 }
 

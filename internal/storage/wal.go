@@ -131,16 +131,19 @@ func OpenWAL(dev DiskManager, dataPageSize int) (*WAL, error) {
 		w.appliedBatch = meta.appliedBatch
 	}
 	s := w.scan()
-	w.nextSeq = 1
+	// Resume strictly from the committed prefix. Records beyond the
+	// horizon are uncommitted debris: the write position returns to the
+	// end of the prefix to overwrite them, so their sequence numbers must
+	// not leak into nextSeq — a committed batch appended after a seq gap
+	// would be unreadable to a later scan (which stops at the first
+	// non-contiguous record) and silently lost.
+	w.nextSeq = s.lastCommittedSeq + 1
 	w.nextBatch = w.appliedBatch + 1
-	if n := len(s.records); n > 0 {
-		w.nextSeq = s.records[n-1].seq + 1
-		if last := s.records[n-1].batch; last >= w.nextBatch {
+	if s.committedBlocks > 0 {
+		if last := s.records[s.committedBlocks-1].batch; last >= w.nextBatch {
 			w.nextBatch = last + 1
 		}
 	}
-	// New records go after the committed prefix; anything beyond it is
-	// uncommitted debris that the next append may overwrite.
 	w.writeBlock = s.committedBlocks
 	return w, nil
 }
@@ -286,10 +289,11 @@ func (w *WAL) decodeRecord(buf []byte) (walRecord, bool) {
 
 // walScan is the result of reading the log from block 0.
 type walScan struct {
-	records         []walRecord // valid, contiguous prefix
-	committedBlocks int         // blocks holding records within the commit horizon
-	tornAt          int         // block index scanning stopped at, or -1 if the whole device parsed
-	discarded       int         // valid records beyond the commit horizon (uncommitted debris)
+	records          []walRecord // valid, contiguous prefix
+	committedBlocks  int         // blocks holding records within the commit horizon
+	lastCommittedSeq uint64      // seq of the last record within the horizon, 0 if none
+	tornAt           int         // block index scanning stopped at, or -1 if the whole device parsed
+	discarded        int         // valid records beyond the commit horizon (uncommitted debris)
 }
 
 // scan reads the valid record prefix of the device: blocks parse, CRCs
@@ -313,6 +317,7 @@ func (w *WAL) scan() walScan {
 		s.records = append(s.records, r)
 		if r.seq <= w.committedSeq {
 			s.committedBlocks = block + 1
+			s.lastCommittedSeq = r.seq
 		} else {
 			s.discarded++
 		}

@@ -358,6 +358,65 @@ func TestWALOverwrittenGenerationsIgnored(t *testing.T) {
 	}
 }
 
+// Regression: OpenWAL used to resume nextSeq from the last scanned
+// record — including uncommitted debris beyond the horizon — while the
+// write position resumed at the committed prefix. The next committed
+// batch was then appended after a sequence gap, a later scan stopped at
+// the gap, and the acknowledged batch was silently dropped with
+// IncompleteCommit flagged on an undamaged log.
+func TestWALReopenWithDebrisKeepsSequencesContiguous(t *testing.T) {
+	main, logDev, w := newWALPair(t)
+	// Batch 1 commits but is not checkpointed (a lazy policy keeps the
+	// live log populated).
+	if _, err := w.AppendBatch([]PageImage{testImage(0, 1)}, []byte("m1")); err != nil {
+		t.Fatalf("AppendBatch 1: %v", err)
+	}
+	// Batch 2 crashes after two of its three images: the device now holds
+	// the committed prefix plus two records of uncommitted debris.
+	fdev := NewFaultManager(logDev, 1).CrashAfterWrites(2)
+	wf := &WAL{dev: fdev, dataPageSize: walTestPageSize,
+		nextSeq: w.nextSeq, committedSeq: w.committedSeq,
+		appliedBatch: w.appliedBatch, nextBatch: w.nextBatch, writeBlock: w.writeBlock}
+	if _, err := wf.AppendBatch([]PageImage{testImage(1, 2), testImage(2, 2), testImage(3, 2)}, []byte("m2")); err == nil {
+		t.Fatal("AppendBatch across a crash point succeeded")
+	}
+	// Reopen mid-log, without recovering (batch 1 stays pending), and
+	// commit the retried batch: its records must continue the committed
+	// prefix's sequence numbers, overwriting the debris, not follow the
+	// debris's.
+	w2, err := OpenWAL(logDev, walTestPageSize)
+	if err != nil {
+		t.Fatalf("OpenWAL: %v", err)
+	}
+	if _, err := w2.AppendBatch([]PageImage{testImage(1, 2)}, []byte("m2")); err != nil {
+		t.Fatalf("AppendBatch after reopen: %v", err)
+	}
+	// A later scan must see both committed batches — no gap, no damage.
+	w3, err := OpenWAL(logDev, walTestPageSize)
+	if err != nil {
+		t.Fatalf("reopen WAL: %v", err)
+	}
+	insp := InspectWAL(w3)
+	if insp.IncompleteCommit {
+		t.Fatalf("inspect = %+v: IncompleteCommit flagged on an undamaged log", insp)
+	}
+	if insp.CommittedBatches != 2 || insp.PendingBatches != 2 {
+		t.Fatalf("inspect = %+v, want both committed batches pending", insp)
+	}
+	rep, err := Recover(main, w3)
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if rep.ReplayedBatches != 2 {
+		t.Fatalf("replayed %d batches, want 2 (committed batch lost)", rep.ReplayedBatches)
+	}
+	assertPage(t, main, testImage(0, 1))
+	assertPage(t, main, testImage(1, 2))
+	if gotMeta, _ := main.ReadMeta(); !bytes.Equal(gotMeta, []byte("m2")) {
+		t.Fatalf("meta = %q, want m2", gotMeta)
+	}
+}
+
 func TestWALRejectsBadInput(t *testing.T) {
 	_, logDev, w := newWALPair(t)
 	if _, err := w.AppendBatch(nil, []byte("m")); err == nil {
