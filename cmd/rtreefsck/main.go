@@ -18,6 +18,11 @@
 //	rtreefsck tiger.rt
 //	rtreefsck -q tiger.rt && echo intact
 //	rtreefsck -recover tiger.rt   # replay the WAL, then verify
+//	rtreefsck -json tiger.rt      # machine-readable report on stdout
+//
+// -json replaces the human text with one JSON object on stdout carrying
+// the scrub result, the WAL state, the recovery outcome (with -recover),
+// and the exit code; the exit-status contract below is unchanged.
 //
 // Exit status:
 //
@@ -30,6 +35,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -37,6 +43,49 @@ import (
 
 	"rtreebuf/internal/storage"
 )
+
+// jsonReport is the -json output shape. Sub-objects are present only
+// when the corresponding stage ran: a file that fails to open carries
+// just the error; scrub appears whenever the page sweep ran; wal
+// whenever a sibling log was inspected; recovery only under -recover.
+type jsonReport struct {
+	File            string        `json:"file"`
+	Error           string        `json:"error,omitempty"`
+	Scrub           *jsonScrub    `json:"scrub,omitempty"`
+	WAL             *jsonWAL      `json:"wal,omitempty"`
+	Recovery        *jsonRecovery `json:"recovery,omitempty"`
+	RecoveryPending bool          `json:"recovery_pending"`
+	Exit            int           `json:"exit"`
+}
+
+type jsonScrub struct {
+	PageSize     int         `json:"page_size"`
+	Pages        int         `json:"pages"`
+	CatalogError string      `json:"catalog_error,omitempty"`
+	Faults       []jsonFault `json:"faults,omitempty"`
+	Clean        bool        `json:"clean"`
+}
+
+type jsonFault struct {
+	Page  int    `json:"page"`
+	Error string `json:"error"`
+}
+
+type jsonWAL struct {
+	MetaIntact       bool `json:"meta_intact"`
+	ScannedRecords   int  `json:"scanned_records"`
+	TornAtBlock      int  `json:"torn_at_block"`
+	DiscardedRecords int  `json:"discarded_records"`
+	CommittedBatches int  `json:"committed_batches"`
+	PendingBatches   int  `json:"pending_batches"`
+	IncompleteCommit bool `json:"incomplete_commit"`
+}
+
+type jsonRecovery struct {
+	ReplayedBatches int    `json:"replayed_batches"`
+	ReplayedPages   int    `json:"replayed_pages"`
+	Error           string `json:"error,omitempty"`
+}
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
@@ -48,8 +97,9 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	quiet := fs.Bool("q", false, "print nothing, only set the exit status")
 	doRecover := fs.Bool("recover", false, "replay committed WAL batches into the page file before verifying")
+	jsonOut := fs.Bool("json", false, "emit one machine-readable JSON report on stdout instead of text")
 	fs.Usage = func() {
-		printfln(stderr, "usage: rtreefsck [-q] [-recover] <pagefile>")
+		printfln(stderr, "usage: rtreefsck [-q] [-recover] [-json] <pagefile>")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(argv); err != nil {
@@ -61,12 +111,31 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	}
 	path := fs.Arg(0)
 
+	// human gates the text output; the JSON report is built alongside and
+	// emitted by exit on every path, so partial failures (unopenable
+	// file, unreadable WAL) are machine-readable too.
+	human := !*quiet && !*jsonOut
+	report := &jsonReport{File: path}
+	exit := func(code int) int {
+		report.Exit = code
+		if *jsonOut {
+			enc := json.NewEncoder(stdout)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(report)
+		}
+		return code
+	}
+	fail := func(format string, args ...any) int {
+		report.Error = fmt.Sprintf(format, args...)
+		if human {
+			printf(stderr, "rtreefsck: %s\n", report.Error)
+		}
+		return exit(2)
+	}
+
 	dm, err := storage.OpenFile(path)
 	if err != nil {
-		if !*quiet {
-			printf(stderr, "rtreefsck: %v\n", err)
-		}
-		return 2
+		return fail("%v", err)
 	}
 	defer dm.Close()
 
@@ -76,32 +145,40 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	if walPath := storage.WALPath(path); fileExists(walPath) {
 		wdev, err := storage.OpenFile(walPath)
 		if err != nil {
-			if !*quiet {
-				printf(stderr, "rtreefsck: opening WAL: %v\n", err)
-			}
-			return 2
+			return fail("opening WAL: %v", err)
 		}
 		defer wdev.Close()
 		w, err := storage.OpenWAL(wdev, dm.PageSize())
 		if err != nil {
-			if !*quiet {
-				printf(stderr, "rtreefsck: reading WAL: %v\n", err)
-			}
-			return 2
+			return fail("reading WAL: %v", err)
 		}
 		wrep := storage.InspectWAL(w)
-		if !*quiet {
+		report.WAL = &jsonWAL{
+			MetaIntact:       wrep.MetaIntact,
+			ScannedRecords:   wrep.ScannedRecords,
+			TornAtBlock:      wrep.TornAtBlock,
+			DiscardedRecords: wrep.DiscardedRecords,
+			CommittedBatches: wrep.CommittedBatches,
+			PendingBatches:   wrep.PendingBatches,
+			IncompleteCommit: wrep.IncompleteCommit,
+		}
+		if human {
 			printf(stdout, "wal: %s\n", wrep)
 		}
 		if *doRecover {
 			rrep, err := storage.Recover(dm, w)
+			report.Recovery = &jsonRecovery{
+				ReplayedBatches: rrep.ReplayedBatches,
+				ReplayedPages:   rrep.ReplayedPages,
+			}
 			if err != nil {
-				if !*quiet {
+				report.Recovery.Error = err.Error()
+				if human {
 					printf(stderr, "rtreefsck: recovery failed: %v\n", err)
 				}
-				return 1
+				return exit(1)
 			}
-			if !*quiet {
+			if human {
 				printf(stdout, "recovery: %s\n", rrep)
 			}
 		} else {
@@ -110,7 +187,14 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	}
 
 	rep := storage.Scrub(dm)
-	if !*quiet {
+	report.Scrub = &jsonScrub{PageSize: rep.PageSize, Pages: rep.Pages, Clean: rep.Clean()}
+	if rep.MetaErr != nil {
+		report.Scrub.CatalogError = rep.MetaErr.Error()
+	}
+	for _, f := range rep.Faults {
+		report.Scrub.Faults = append(report.Scrub.Faults, jsonFault{Page: f.Page, Error: f.Err.Error()})
+	}
+	if human {
 		printf(stdout, "%s: %d pages of %d bytes\n", path, rep.Pages, rep.PageSize)
 		if rep.MetaErr != nil {
 			printf(stdout, "catalog: %v\n", rep.MetaErr)
@@ -124,15 +208,16 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	// holds unreplayed batches is the expected mid-write-back state, and
 	// the remedy is -recover, not a restore.
 	if pending {
-		if !*quiet {
+		report.RecoveryPending = true
+		if human {
 			printfln(stdout, "recovery needed: committed WAL batches are not in the page file; run rtreefsck -recover")
 		}
-		return 3
+		return exit(3)
 	}
 	if !rep.Clean() {
-		return 1
+		return exit(1)
 	}
-	return 0
+	return exit(0)
 }
 
 func fileExists(path string) bool {

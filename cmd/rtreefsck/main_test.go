@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
 
@@ -144,6 +145,151 @@ func TestRunExitCodes(t *testing.T) {
 	}
 	if code, _ := runFsck(t); code != 2 {
 		t.Fatalf("no args: exit %d, want 2", code)
+	}
+}
+
+// fsckJSON runs rtreefsck -json and normalizes the volatile parts of the
+// report for golden comparison: the temp directory becomes TMP and
+// content-derived checksum pairs become CRC != CRC.
+func fsckJSON(t *testing.T, dir string, args ...string) (int, string) {
+	t.Helper()
+	code, out := runFsck(t, append([]string{"-json"}, args...)...)
+	out = strings.ReplaceAll(out, dir, "TMP")
+	out = regexp.MustCompile(`[0-9a-f]{8} != [0-9a-f]{8}`).ReplaceAllString(out, "CRC != CRC")
+	return code, out
+}
+
+// TestJSONReport golden-tests the -json report through the same state
+// sequence as TestRunExitCodes: clean, recovery-pending, recovered,
+// corrupt, and unopenable. The exit-code contract is unchanged and the
+// code is mirrored inside the report.
+func TestJSONReport(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "tree.rt")
+	seedTree(t, path)
+
+	code, out := fsckJSON(t, dir, path)
+	want := `{
+  "file": "TMP/tree.rt",
+  "scrub": {
+    "page_size": 512,
+    "pages": 18,
+    "clean": true
+  },
+  "recovery_pending": false,
+  "exit": 0
+}
+`
+	if code != 0 || out != want {
+		t.Errorf("clean: exit %d\ngot:\n%s\nwant:\n%s", code, out, want)
+	}
+
+	crashMidWriteBack(t, path)
+	code, out = fsckJSON(t, dir, path)
+	want = `{
+  "file": "TMP/tree.rt",
+  "scrub": {
+    "page_size": 512,
+    "pages": 18,
+    "clean": true
+  },
+  "wal": {
+    "meta_intact": true,
+    "scanned_records": 5,
+    "torn_at_block": -1,
+    "discarded_records": 0,
+    "committed_batches": 1,
+    "pending_batches": 1,
+    "incomplete_commit": false
+  },
+  "recovery_pending": true,
+  "exit": 3
+}
+`
+	if code != 3 || out != want {
+		t.Errorf("pending: exit %d\ngot:\n%s\nwant:\n%s", code, out, want)
+	}
+
+	code, out = fsckJSON(t, dir, "-recover", path)
+	want = `{
+  "file": "TMP/tree.rt",
+  "scrub": {
+    "page_size": 512,
+    "pages": 19,
+    "clean": true
+  },
+  "wal": {
+    "meta_intact": true,
+    "scanned_records": 5,
+    "torn_at_block": -1,
+    "discarded_records": 0,
+    "committed_batches": 1,
+    "pending_batches": 1,
+    "incomplete_commit": false
+  },
+  "recovery": {
+    "replayed_batches": 1,
+    "replayed_pages": 4
+  },
+  "recovery_pending": false,
+  "exit": 0
+}
+`
+	if code != 0 || out != want {
+		t.Errorf("recover: exit %d\ngot:\n%s\nwant:\n%s", code, out, want)
+	}
+
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte{0xFF, 0xFF, 0xFF, 0xFF}, testPageSize+64); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	code, out = fsckJSON(t, dir, path)
+	want = `{
+  "file": "TMP/tree.rt",
+  "scrub": {
+    "page_size": 512,
+    "pages": 19,
+    "faults": [
+      {
+        "page": 0,
+        "error": "storage: page 0: storage: checksum mismatch (CRC != CRC): corrupt or torn page"
+      }
+    ],
+    "clean": false
+  },
+  "wal": {
+    "meta_intact": true,
+    "scanned_records": 5,
+    "torn_at_block": -1,
+    "discarded_records": 0,
+    "committed_batches": 1,
+    "pending_batches": 0,
+    "incomplete_commit": false
+  },
+  "recovery_pending": false,
+  "exit": 1
+}
+`
+	if code != 1 || out != want {
+		t.Errorf("corrupt: exit %d\ngot:\n%s\nwant:\n%s", code, out, want)
+	}
+
+	code, out = fsckJSON(t, dir, filepath.Join(dir, "missing.rt"))
+	want = `{
+  "file": "TMP/missing.rt",
+  "error": "storage: opening TMP/missing.rt: open TMP/missing.rt: no such file or directory",
+  "recovery_pending": false,
+  "exit": 2
+}
+`
+	if code != 2 || out != want {
+		t.Errorf("missing: exit %d\ngot:\n%s\nwant:\n%s", code, out, want)
 	}
 }
 

@@ -17,8 +17,12 @@
 //	-skip names      run all but the named analyzers (comma-separated)
 //	-json            emit findings as a JSON array on stdout
 //	-sarif file      also write findings as SARIF 2.1.0 (GitHub code scanning)
-//	-facts name      dump the call-graph facts for matching functions, then exit
+//	-facts name      dump the call-graph facts and effect traces for matching
+//	                 functions, then exit
 //	                 (name forms: "Get", "(*Pool).Get", "buffer.(*Pool).Get")
+//	-explain rule    print a durability rule's definition, the DESIGN.md §7e
+//	                 protocol step it encodes, and its witness format, then
+//	                 exit (unknown rule names exit 2, matching -only)
 //	-baseline file   accepted-findings file (default: <root>/.rtreelint-baseline
 //	                 when present); baselined findings are reported but not fatal
 //	-no-baseline     enforcing mode: ignore any baseline file (for nightly CI)
@@ -54,11 +58,17 @@ func main() {
 	skip := flag.String("skip", "", "run all but these `analyzers` (comma-separated)")
 	jsonOut := flag.Bool("json", false, "emit findings as JSON on stdout")
 	sarifPath := flag.String("sarif", "", "also write findings as SARIF 2.1.0 to `file`")
-	factsOf := flag.String("facts", "", "dump call-graph facts for functions matching `name` and exit")
+	factsOf := flag.String("facts", "", "dump call-graph facts and effect traces for functions matching `name` and exit")
+	explainOf := flag.String("explain", "", "explain the durability `rule` (definition, protocol step, witness format) and exit")
 	baselinePath := flag.String("baseline", "", "baseline `file` of accepted findings (default: <root>/"+defaultBaseline+" if present)")
 	noBaseline := flag.Bool("no-baseline", false, "enforcing mode: ignore any baseline file")
 	writeBaseline := flag.Bool("write-baseline", false, "rewrite the baseline file accepting all current findings")
 	flag.Parse()
+
+	if *explainOf != "" {
+		explainRule(*explainOf)
+		return
+	}
 
 	analyzers, err := selectAnalyzers(analysis.Analyzers(), *only, *skip)
 	if err != nil {
@@ -251,12 +261,52 @@ func printJSON(findings []analysis.Finding) {
 	}
 }
 
+// explainRule prints one durability rule's full definition: its temporal
+// shape, the effect sets it quantifies over, the functions it scopes to,
+// the DESIGN.md §7e protocol step it encodes, and what a violation's
+// witness chain points at. Unknown names exit 2, matching -only's
+// contract that a typo must not read as "no such problem".
+func explainRule(name string) {
+	r := analysis.RuleByName(name)
+	if r == nil {
+		var known []string
+		for _, r := range analysis.Rules() {
+			known = append(known, r.Name)
+		}
+		fatal(fmt.Errorf("unknown rule %q (rules: %s)", name, strings.Join(known, ", ")))
+	}
+	fmt.Printf("rule %s (analyzer %s)\n", r.Name, r.Analyzer)
+	fmt.Printf("  kind:    %s\n", r.Kind)
+	fmt.Printf("  A:       %s\n", r.A)
+	if r.B != 0 {
+		fmt.Printf("  B:       %s\n", r.B)
+	}
+	if r.C != 0 {
+		fmt.Printf("  C:       %s\n", r.C)
+	}
+	if len(r.Scope) == 0 {
+		fmt.Printf("  scope:   every module function\n")
+	} else {
+		var specs []string
+		for _, s := range r.Scope {
+			specs = append(specs, s.String())
+		}
+		fmt.Printf("  scope:   %s\n", strings.Join(specs, ", "))
+	}
+	fmt.Printf("  invariant: %s\n", r.Doc)
+	fmt.Printf("  protocol:  %s\n", r.Step)
+	fmt.Printf("  witness:   %s\n", r.Witness)
+}
+
 // dumpFacts prints the fact store's view of every function matching name:
-// the transitive fact set, one witness chain per fact, and the function's
-// own allocation sites. This is the debugging lens for "why does lockcheck
-// think this callee blocks?".
+// the transitive fact set, one witness chain per fact, the function's own
+// allocation sites, and its effect summary and body traces. This is the
+// debugging lens for "why does lockcheck think this callee blocks?" and
+// "what order does durcheck believe this function writes in?".
 func dumpFacts(pkgs []*analysis.Package, name string) {
-	graph := analysis.NewModule(pkgs).Graph
+	m := analysis.NewModule(pkgs)
+	graph := m.Graph
+	effects := m.Effects()
 	nodes := graph.ResolveName(name)
 	if len(nodes) == 0 {
 		fatal(fmt.Errorf("no function matches %q", name))
@@ -278,7 +328,33 @@ func dumpFacts(pkgs []*analysis.Package, name string) {
 			apos := n.Pkg.Fset.Position(a.Pos)
 			fmt.Printf("  alloc: %s at %s:%d\n", a.What, relPath(apos.Filename), apos.Line)
 		}
+		fmt.Printf("  effects: %s\n", effects.EffectSet(n))
+		body := effects.BodyTraces(n)
+		if sum := effects.Summary(n); !sameTraces(sum, body) {
+			// Effect-table function: what callers compose (the contract)
+			// differs from what the body does (what the rules check).
+			for _, tr := range sum {
+				fmt.Printf("  contract: %s\n", tr)
+			}
+		}
+		for _, tr := range body {
+			fmt.Printf("  trace: %s\n", tr)
+		}
 	}
+}
+
+// sameTraces reports whether two trace slices render identically, used to
+// suppress the contract line when it adds nothing over the body traces.
+func sameTraces(a, b []analysis.EffTrace) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].String() != b[i].String() {
+			return false
+		}
+	}
+	return true
 }
 
 // relativize shortens the finding's file path relative to the working

@@ -160,6 +160,16 @@ func Analyzers() []*Analyzer {
 			Doc:         "field accessed both atomically and plainly with no lock dominating the atomic sites",
 			CheckModule: checkAtomic,
 		},
+		{
+			Name:        "durcheck",
+			Doc:         "WAL commit-protocol effect ordering violated (see rtreelint -explain <rule>)",
+			CheckModule: checkDur,
+		},
+		{
+			Name:        "errflow",
+			Doc:         "checkpoint-stage error returned as the operation error after the commit point",
+			CheckModule: checkErrFlow,
+		},
 	}
 }
 

@@ -66,6 +66,11 @@ type Call struct {
 	Expr *ast.CallExpr // nil for value references
 	// Targets are the module functions possibly invoked here.
 	Targets []*FuncNode
+	// Callee is the resolved callee object: the static callee for direct
+	// calls, the interface method for dispatch sites, the referenced
+	// function for value references, nil for dynamic calls. The effect
+	// store matches it against the effect table.
+	Callee *types.Func
 	// Std carries facts contributed by non-module callees at this site.
 	Std FactSet
 	// Desc describes the callee for diagnostics.
@@ -370,7 +375,7 @@ func (g *CallGraph) addCall(n *FuncNode, call *ast.CallExpr, exempt spans) {
 				return
 			}
 		}
-		c := &Call{Pos: call.Pos(), Expr: call, Desc: funcDisplay(callee)}
+		c := &Call{Pos: call.Pos(), Expr: call, Desc: funcDisplay(callee), Callee: callee}
 		if tn := g.NodeOf(callee); tn != nil {
 			c.Targets = []*FuncNode{tn}
 		} else {
@@ -392,7 +397,7 @@ func (g *CallGraph) addCall(n *FuncNode, call *ast.CallExpr, exempt spans) {
 // addDispatch resolves an interface method call or method value by CHA.
 func (g *CallGraph) addDispatch(n *FuncNode, pos token.Pos, expr *ast.CallExpr, recv types.Type, iface *types.Interface, m *types.Func, ref bool) {
 	c := &Call{
-		Pos: pos, Expr: expr, Dispatch: true, Ref: ref,
+		Pos: pos, Expr: expr, Dispatch: true, Ref: ref, Callee: m,
 		Desc: "interface method " + typeString(recv) + "." + m.Name(),
 	}
 	for _, fn := range g.implementers(iface, m) {
@@ -414,7 +419,7 @@ func (g *CallGraph) addDispatch(n *FuncNode, pos token.Pos, expr *ast.CallExpr, 
 
 // addRef records a function or method used as a value.
 func (g *CallGraph) addRef(n *FuncNode, pos token.Pos, fn *types.Func) {
-	c := &Call{Pos: pos, Ref: true, Desc: "reference to " + funcDisplay(fn)}
+	c := &Call{Pos: pos, Ref: true, Desc: "reference to " + funcDisplay(fn), Callee: fn}
 	if tn := g.NodeOf(fn); tn != nil {
 		c.Targets = []*FuncNode{tn}
 	} else {

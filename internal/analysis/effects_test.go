@@ -1,0 +1,193 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// effNode builds a single-package fixture module and returns its effect
+// store plus the named function's node.
+func effNode(t *testing.T, src, fn string) (*Effects, *FuncNode) {
+	t.Helper()
+	m := NewModule(fixtureModule(t, []fixtureFile{{path: "fixture/" + t.Name(), src: src}}))
+	ns := m.Graph.ResolveName(fn)
+	if len(ns) != 1 {
+		t.Fatalf("ResolveName(%s) = %d nodes, want 1", fn, len(ns))
+	}
+	return m.Effects(), ns[0]
+}
+
+// traceStrings renders traces for order-insensitive containment checks.
+func traceStrings(ts []EffTrace) []string {
+	out := make([]string, len(ts))
+	for i, t := range ts {
+		out[i] = t.String()
+	}
+	return out
+}
+
+func wantTrace(t *testing.T, ts []EffTrace, want string) {
+	t.Helper()
+	for _, s := range traceStrings(ts) {
+		if s == want {
+			return
+		}
+	}
+	t.Errorf("no trace %q among %v", want, traceStrings(ts))
+}
+
+func rejectTrace(t *testing.T, ts []EffTrace, reject string) {
+	t.Helper()
+	for _, s := range traceStrings(ts) {
+		if s == reject {
+			t.Errorf("unwanted trace %q present", reject)
+		}
+	}
+}
+
+// TestEffectTraceShapes pins the scanner's path model: loops contribute
+// zero, one, and two iterations; deferred calls land at every return
+// (error returns included); error paths are classified.
+func TestEffectTraceShapes(t *testing.T) {
+	e, n := effNode(t, `package efffix
+
+type Dev struct{}
+
+func (d *Dev) WritePage(page int, b []byte) error { return nil }
+func (d *Dev) Sync() error                        { return nil }
+
+func flush(d *Dev, n int) error {
+	defer d.Sync()
+	for i := 0; i < n; i++ {
+		if err := d.WritePage(i, nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+`, "flush")
+	ts := e.BodyTraces(n)
+	wantTrace(t, ts, "Sync")                          // zero iterations
+	wantTrace(t, ts, "PageWrite Sync")                // one or more iterations
+	wantTrace(t, ts, "PageWrite Sync (error return)") // failed write, defer still runs
+	rejectTrace(t, ts, "Sync PageWrite")              // defers run at returns, not eagerly
+	rejectTrace(t, ts, "PageWrite PageWrite Sync")    // adjacent identical effects collapse
+	if got := e.EffectSet(n); got != effects(EffPageWrite, EffSync) {
+		t.Errorf("EffectSet(flush) = %s, want PageWrite|Sync", got)
+	}
+}
+
+// TestEffectContractVsBody pins the two views of a table function: the
+// summary callers compose is the contract, the body traces stay the
+// implementation (here: one that never syncs — what writemeta-syncs
+// exists to catch).
+func TestEffectContractVsBody(t *testing.T) {
+	e, n := effNode(t, `package efffix
+
+type Mgr struct{}
+
+func (m *Mgr) writeHeader() error { return nil }
+
+func (m *Mgr) WriteMeta(b []byte) error {
+	return m.writeHeader()
+}
+`, "WriteMeta")
+	sum := e.Summary(n)
+	if len(sum) != 1 || sum[0].String() != "Sync MetaWrite" {
+		t.Errorf("Summary(WriteMeta) = %v, want the [Sync MetaWrite] contract", traceStrings(sum))
+	}
+	wantTrace(t, e.BodyTraces(n), "MetaWrite")
+	rejectTrace(t, e.BodyTraces(n), "Sync MetaWrite")
+}
+
+// TestEffectFuncLitInline pins closure inlining: effects inside a func
+// literal are credited at its definition point, so retry-style wrappers
+// keep their inner call's effects visible.
+func TestEffectFuncLitInline(t *testing.T) {
+	e, n := effNode(t, `package efffix
+
+type Dev struct{ dirty bool }
+
+func (d *Dev) Sync() error              { d.dirty = false; return nil }
+func (d *Dev) WriteMeta(b []byte) error { return nil }
+
+type Retrier struct{ inner *Dev }
+
+func (r *Retrier) retry(f func() error) error { return f() }
+
+func (r *Retrier) WriteMeta(b []byte) error {
+	return r.retry(func() error { return r.inner.WriteMeta(b) })
+}
+`, "(*Retrier).WriteMeta")
+	wantTrace(t, e.BodyTraces(n), "Sync MetaWrite")
+	rejectTrace(t, e.BodyTraces(n), "(no effects)")
+}
+
+// TestEffectWitnessChain pins interprocedural composition: an effect
+// reached through a helper renders a multi-hop chain ending at the
+// effect-table boundary.
+func TestEffectWitnessChain(t *testing.T) {
+	e, n := effNode(t, `package efffix
+
+type Dev struct{}
+
+func (d *Dev) WritePage(page int, b []byte) error { return nil }
+
+func helper(d *Dev) error { return d.WritePage(0, nil) }
+
+func top(d *Dev) error { return helper(d) }
+`, "top")
+	ts := e.BodyTraces(n)
+	wantTrace(t, ts, "PageWrite")
+	var chain []string
+	for _, tr := range ts {
+		for _, ev := range tr.Events {
+			if ev.Eff == EffPageWrite {
+				chain = EventChain(ev)
+			}
+		}
+	}
+	if len(chain) != 2 {
+		t.Fatalf("EventChain = %v, want 2 hops (top -> helper)", chain)
+	}
+	if !strings.Contains(chain[0], "top") || !strings.Contains(chain[0], "calls") {
+		t.Errorf("outer hop %q should name top calling helper", chain[0])
+	}
+	if !strings.Contains(chain[1], "helper") || !strings.Contains(chain[1], "PageWrite") {
+		t.Errorf("inner hop %q should anchor the PageWrite in helper", chain[1])
+	}
+}
+
+// TestEffectRecursionClump pins the recursion fallback: a cycle degrades
+// to an approximate unordered clump rather than diverging, and universal
+// rules will skip it.
+func TestEffectRecursionClump(t *testing.T) {
+	e, n := effNode(t, `package efffix
+
+type Dev struct{}
+
+func (d *Dev) WritePage(page int, b []byte) error { return nil }
+
+func ping(d *Dev, n int) error {
+	if n == 0 {
+		return nil
+	}
+	if err := d.WritePage(n, nil); err != nil {
+		return err
+	}
+	return ping(d, n-1)
+}
+`, "ping")
+	if got := e.EffectSet(n); !got.Has(EffPageWrite) {
+		t.Fatalf("EffectSet(ping) = %s, want PageWrite", got)
+	}
+	var sawApprox bool
+	for _, tr := range e.BodyTraces(n) {
+		if tr.Approx {
+			sawApprox = true
+		}
+	}
+	if !sawApprox {
+		t.Error("recursive function produced no approximate trace")
+	}
+}

@@ -1,0 +1,88 @@
+package analysis
+
+import (
+	"testing"
+)
+
+// TestErrFlowPostCommitReturn seeds the second PR 7 review bug: after
+// the commit point, checkpoint-stage errors (sync, checkpoint) returned
+// as the operation error, both bare and wrapped through an
+// error-forwarding call.
+func TestErrFlowPostCommitReturn(t *testing.T) {
+	runModuleFixture(t, analyzerNamed(t, "errflow"), []fixtureFile{
+		{path: "fixture/protofix", src: protoPrelude + `
+func wrap(err error) error { return err }
+
+func (t *Tree) commitUpdate(pages []int, meta []byte) error {
+	if _, err := t.wal.AppendBatch(pages, meta); err != nil {
+		return err
+	}
+	if err := t.pool.FlushDirty(); err != nil {
+		return err
+	}
+	if err := t.dm.WriteMeta(meta); err != nil {
+		return err
+	}
+	if err := syncManager(t.dm); err != nil {
+		return err // WANT
+	}
+	if err := t.wal.Checkpoint(1); err != nil {
+		return wrap(err) // WANT
+	}
+	return nil
+}
+`},
+	})
+}
+
+// TestErrFlowCleanProtocol is the negative control: pre-commit error
+// plumbing and the sticky-CheckpointErr pattern raise nothing.
+func TestErrFlowCleanProtocol(t *testing.T) {
+	runModuleFixture(t, analyzerNamed(t, "errflow"), []fixtureFile{
+		{path: "fixture/protofix", src: protoPrelude + goodCommit + goodRecover},
+	})
+}
+
+// TestErrFlowDirectReturn covers the tail-return form: returning the
+// checkpoint call's error expression directly.
+func TestErrFlowDirectReturn(t *testing.T) {
+	runModuleFixture(t, analyzerNamed(t, "errflow"), []fixtureFile{
+		{path: "fixture/protofix", src: protoPrelude + `
+func (t *Tree) commitUpdate(pages []int, meta []byte) error {
+	if _, err := t.wal.AppendBatch(pages, meta); err != nil {
+		return err
+	}
+	if err := t.dm.WriteMeta(meta); err != nil {
+		return err
+	}
+	return t.wal.Checkpoint(1) // WANT
+}
+`},
+	})
+}
+
+// TestRepoErrFlowCommitUpdate is the real-repo assertion: commitUpdate
+// genuinely has a commit site (the check is not vacuous) and its
+// checkpoint-stage errors flow to the sticky CheckpointErr path, so
+// errflow stays silent.
+func TestRepoErrFlowCommitUpdate(t *testing.T) {
+	m := loadRepoModule(t)
+	e := m.Effects()
+	n := repoEffNode(t, m, "storage.(*PagedTree).commitUpdate")
+
+	var commits bool
+	for _, c := range n.Calls {
+		if !c.Ref && c.Expr != nil && e.SiteEffects(c).Has(EffCommit) {
+			commits = true
+		}
+	}
+	if !commits {
+		t.Fatal("commitUpdate has no Commit-effect call site — errflow would be vacuous on it")
+	}
+	if fs := errFlowFunc(RuleByName("no-post-commit-error-return"), e, n); len(fs) != 0 {
+		t.Errorf("errflow findings on commitUpdate: %v", fs)
+	}
+	if fs := checkErrFlow(m); len(fs) != 0 {
+		t.Errorf("errflow findings on the repository: %v", fs)
+	}
+}

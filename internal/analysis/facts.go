@@ -426,9 +426,20 @@ func RootPath(parent map[*FuncNode]*FuncNode, n *FuncNode) string {
 type Module struct {
 	Pkgs  []*Package
 	Graph *CallGraph
+
+	effects *Effects
 }
 
 // NewModule builds the call graph over the given packages.
 func NewModule(pkgs []*Package) *Module {
 	return &Module{Pkgs: pkgs, Graph: NewCallGraph(pkgs)}
+}
+
+// Effects returns the module's effect store, built on first use and
+// shared by durcheck, errflow, and the -facts dump.
+func (m *Module) Effects() *Effects {
+	if m.effects == nil {
+		m.effects = NewEffects(m.Graph)
+	}
+	return m.effects
 }
