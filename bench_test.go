@@ -95,6 +95,10 @@ func BenchmarkExtSystem(b *testing.B) { benchExperiment(b, "ext-system") }
 // BenchmarkExtClock regenerates the LRU-model-vs-CLOCK study.
 func BenchmarkExtClock(b *testing.B) { benchExperiment(b, "ext-clock") }
 
+// BenchmarkExtPolicy regenerates the 2Q/Clock-Pro/sharded model
+// validation study.
+func BenchmarkExtPolicy(b *testing.B) { benchExperiment(b, "ext-policy") }
+
 // BenchmarkExtKNN regenerates the kNN-workload pricing study.
 func BenchmarkExtKNN(b *testing.B) { benchExperiment(b, "ext-knn") }
 

@@ -136,6 +136,8 @@ func main() {
 	outDir := flag.String("outdir", "", "also write each table as <outdir>/<experiment>_<n>.csv")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	parallel := flag.Int("parallel", 0, "experiment worker count (0 = NumCPU, 1 = serial)")
+	policy := flag.String("policy", "", "paged-tree replacement policy for system experiments (lru, clock, 2q, clockpro; empty = lru)")
+	shards := flag.Int("shards", 1, "paged-tree pool shards for system experiments (>1 = lock-striped pool)")
 	benchJSON := flag.String("benchjson", "", "write a machine-readable timing summary to this path")
 	metricsPath := flag.String("metrics", "", "write an engine metrics dump to this path (.json/.prom/anything-else=text)")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics and /debug/pprof on this address (keeps the process alive after the run until interrupted)")
@@ -154,6 +156,8 @@ func main() {
 		Seed:         *seed,
 		SimBatches:   *batches,
 		SimBatchSize: *batchSize,
+		Policy:       *policy,
+		Shards:       *shards,
 	}
 	if *metricsPath != "" || *debugAddr != "" {
 		cfg.Metrics = obs.NewRegistry()

@@ -22,6 +22,7 @@ import (
 	"os/signal"
 	"sort"
 	"strconv"
+	"strings"
 	"syscall"
 
 	"rtreebuf/internal/buffer"
@@ -36,6 +37,8 @@ import (
 func main() {
 	treePath := flag.String("tree", "", "page file produced by rtreeload (required)")
 	bufferPages := flag.Int("buffer", 200, "buffer pool capacity in pages")
+	policy := flag.String("policy", "lru", "replacement policy: "+strings.Join(buffer.PolicyNames(), ", "))
+	shards := flag.Int("shards", 1, "buffer pool shards (>1 selects the lock-striped concurrent pool)")
 	qx := flag.Float64("qx", 0, "query width (0 = point queries)")
 	qy := flag.Float64("qy", 0, "query height (0 = point queries)")
 	n := flag.Int("n", 20000, "measured queries (a quarter as many again warm the buffer)")
@@ -69,12 +72,12 @@ func main() {
 	defer dm.Close()
 	storage.SetManagerMetrics(dm, storage.NewMetrics(reg))
 
-	paged, err := storage.OpenPagedTree(dm, *bufferPages)
+	paged, err := storage.OpenPagedTreeWith(dm, *bufferPages, *policy, *shards)
 	fatalIf(err)
 	meta := paged.Meta()
 	fmt.Printf("tree:   %d items, %d pages, levels %v\n", meta.Items, meta.NumPages(), meta.Levels)
-	fmt.Printf("buffer: %d pages, pinning %d levels\n", *bufferPages, *pin)
-	paged.Pool().SetMetrics(buffer.NewMetrics(reg, "lru").
+	fmt.Printf("buffer: %d pages (%s, %d shard(s)), pinning %d levels\n", *bufferPages, policyLabel(*policy), *shards, *pin)
+	paged.Pool().SetMetrics(buffer.NewMetrics(reg, policyLabel(*policy)).
 		WithLevels(buffer.LevelsFromCounts(meta.Levels), len(meta.Levels)))
 	if *pin > 0 {
 		fatalIf(paged.PinLevels(*pin))
@@ -86,7 +89,7 @@ func main() {
 	qm, err := core.NewUniformQueries(*qx, *qy)
 	fatalIf(err)
 	pred := core.NewPredictor(tree.Levels(), qm)
-	predicted, err := pred.DiskAccessesPinned(*bufferPages, *pin)
+	predicted, modelLabel, err := predictFor(pred, policyLabel(*policy), *bufferPages, *pin, *shards)
 	fatalIf(err)
 
 	rng := rand.New(rand.NewPCG(*seed, *seed^0xabcdef))
@@ -116,8 +119,12 @@ func main() {
 		*n, *qx, *qy, warm, float64(results)/float64(warm+*n))
 	fmt.Printf("pool:     %d hits, %d misses, %d evictions (hit ratio %.2f%%)\n",
 		hits, misses, evictions, 100*paged.Pool().HitRatio())
-	fmt.Printf("\ndisk accesses per query: measured %.4f, model %.4f (%+.1f%%)\n",
-		measured, predicted, 100*stats.PercentDiff(measured, predicted))
+	fmt.Printf("\ndisk accesses per query: measured %.4f, %s %.4f (%+.1f%%)\n",
+		measured, modelLabel, predicted, 100*stats.PercentDiff(measured, predicted))
+	if policyLabel(*policy) == "clockpro" && *pin == 0 {
+		lo, hi := pred.ClockProBounds(*bufferPages)
+		fmt.Printf("clockpro model bracket [A0 optimum, lru model]: [%.4f, %.4f]\n", lo, hi)
+	}
 	fmt.Printf("bufferless EPT (nodes visited per query): %.4f\n", pred.NodesVisited())
 
 	if reg != nil {
@@ -239,4 +246,35 @@ func fatalIf(err error) {
 		fmt.Fprintf(os.Stderr, "rtreequery: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// policyLabel canonicalizes the -policy flag ("" means LRU).
+func policyLabel(policy string) string {
+	if policy == "" {
+		return "lru"
+	}
+	return policy
+}
+
+// predictFor picks the analytic model matching the configured policy and
+// sharding. Pinning analysis exists only for the LRU model, so any -pin
+// run reports it; 2Q gets its renewal model, Clock-Pro is reported
+// against the upper edge of its bracket (the bracket itself is printed
+// separately), and a sharded LRU pool gets the per-shard partition model.
+func predictFor(pred *core.Predictor, policy string, bufferPages, pin, shards int) (float64, string, error) {
+	if pin > 0 {
+		v, err := pred.DiskAccessesPinned(bufferPages, pin)
+		return v, "lru model (pinned)", err
+	}
+	switch policy {
+	case "2q":
+		return pred.DiskAccesses2Q(bufferPages), "2q model", nil
+	case "clockpro":
+		_, hi := pred.ClockProBounds(bufferPages)
+		return hi, "clockpro bracket upper edge", nil
+	}
+	if shards > 1 {
+		return pred.DiskAccessesSharded(bufferPages, shards), fmt.Sprintf("sharded(%d) lru model", shards), nil
+	}
+	return pred.DiskAccesses(bufferPages), "lru model", nil
 }

@@ -38,6 +38,7 @@ func HotRoots() []RootSpec {
 	return []RootSpec{
 		{Path: mod + "/internal/rtree", Recv: "Tree", Name: "Search*"},
 		{Path: mod + "/internal/buffer", Recv: "Pool", Name: "Get"},
+		{Path: mod + "/internal/buffer", Recv: "ShardedPool", Name: "Get"},
 		{Path: mod + "/internal/core", Recv: "*", Name: "AccessProb"},
 		{Path: mod + "/internal/core", Name: "AccessProbs"},
 		{Path: mod + "/internal/core", Recv: "Predictor", Name: "DiskAccessesSweep"},

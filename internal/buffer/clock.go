@@ -1,7 +1,5 @@
 package buffer
 
-import "fmt"
-
 // Clock is the classic second-chance (CLOCK) replacement policy: pages
 // sit on a circular list with a reference bit; the hand sweeps, clearing
 // bits, and evicts the first unreferenced page. Real database buffer
@@ -12,34 +10,22 @@ import "fmt"
 //
 // Clock implements the same Access/Pin contract as LRU (see Policy).
 type Clock struct {
-	capacity int
+	policyCore
 
 	frames  []int32 // frame -> page (or -1)
 	ref     []bool  // frame -> referenced bit
 	frameOf []int32 // page -> frame (or -1)
-	pinned  []bool  // page -> pinned
 	hand    int
-	size    int
-	nPinned int
-
-	policyCounters
 }
 
 // NewClock returns an empty CLOCK cache of the given page capacity over
 // page numbers [0, numPages).
 func NewClock(capacity, numPages int) *Clock {
-	if capacity < 1 {
-		panic(fmt.Sprintf("buffer: Clock capacity %d < 1", capacity))
-	}
-	if numPages < 0 {
-		panic(fmt.Sprintf("buffer: negative page count %d", numPages))
-	}
 	c := &Clock{
-		capacity: capacity,
-		frames:   make([]int32, capacity),
-		ref:      make([]bool, capacity),
-		frameOf:  make([]int32, numPages),
-		pinned:   make([]bool, numPages),
+		policyCore: newPolicyCore("Clock", capacity, numPages),
+		frames:     make([]int32, capacity),
+		ref:        make([]bool, capacity),
+		frameOf:    make([]int32, numPages),
 	}
 	for i := range c.frames {
 		c.frames[i] = sentinel
@@ -49,15 +35,6 @@ func NewClock(capacity, numPages int) *Clock {
 	}
 	return c
 }
-
-// Capacity returns the page capacity.
-func (c *Clock) Capacity() int { return c.capacity }
-
-// Len returns the number of resident pages.
-func (c *Clock) Len() int { return c.size }
-
-// Full reports whether the cache is at capacity.
-func (c *Clock) Full() bool { return c.size >= c.capacity }
 
 // Contains reports whether page is resident.
 func (c *Clock) Contains(page int) bool { return c.frameOf[page] != sentinel }
@@ -115,8 +92,75 @@ func (c *Clock) insert(page int) {
 		c.frames[f] = int32(page)
 		c.ref[f] = true
 		c.frameOf[page] = int32(f)
-		c.evict()
+		c.evictPage(int(victim))
 		return
+	}
+}
+
+// Victim returns the page insert's sweep would evict next, without
+// moving the hand or clearing any reference bits. It simulates the
+// sweep: the first unreferenced, unpinned frame from the hand wins the
+// first lap; if every candidate is referenced, the sweep will have
+// cleared them all, so the first unpinned frame from the hand wins the
+// second.
+func (c *Clock) Victim() (page int, ok bool) {
+	first := -1
+	for i := 0; i < c.capacity; i++ {
+		f := (c.hand + i) % c.capacity
+		p := c.frames[f]
+		if p == sentinel || c.pinned[p] {
+			continue
+		}
+		if first < 0 {
+			first = f
+		}
+		if !c.ref[f] {
+			return int(p), true
+		}
+	}
+	if first < 0 {
+		return 0, false
+	}
+	return int(c.frames[first]), true
+}
+
+// Install makes page resident without counting a hit or a miss (see
+// PoolPolicy). A resident page gets its reference bit set; a miss-side
+// install may evict, which still counts.
+func (c *Clock) Install(page int) bool {
+	if f := c.frameOf[page]; f != sentinel {
+		c.ref[f] = true
+		return true
+	}
+	c.insert(page)
+	return false
+}
+
+// Remove drops page without counting an eviction — backing out a failed
+// fault. The frame becomes empty and is refilled by the next insert.
+func (c *Clock) Remove(page int) bool {
+	f := c.frameOf[page]
+	if f == sentinel || c.pinned[page] {
+		return false
+	}
+	c.frames[f] = sentinel
+	c.ref[f] = false
+	c.frameOf[page] = sentinel
+	c.size--
+	return true
+}
+
+// Grow extends the page-number space to numPages (no-op if not larger).
+func (c *Clock) Grow(numPages int) {
+	old := c.numPages
+	if !c.grow(numPages) {
+		return
+	}
+	extra := numPages - old
+	start := len(c.frameOf)
+	c.frameOf = append(c.frameOf, make([]int32, extra)...)
+	for i := start; i < len(c.frameOf); i++ {
+		c.frameOf[i] = sentinel
 	}
 }
 
@@ -125,8 +169,8 @@ func (c *Clock) Pin(page int) error {
 	if c.pinned[page] {
 		return nil
 	}
-	if c.nPinned >= c.capacity {
-		return fmt.Errorf("buffer: cannot pin page %d: all %d slots pinned", page, c.capacity)
+	if err := c.checkPin(page); err != nil {
+		return err
 	}
 	if c.frameOf[page] == sentinel {
 		c.miss(page)
@@ -146,29 +190,6 @@ func (c *Clock) Unpin(page int) {
 	c.nPinned--
 }
 
-// Stats, ResetStats, HitRatio, and SetMetrics are promoted from the
-// embedded policyCounters, the accounting struct shared by every Policy.
-
-// Policy is the replacement-policy contract shared by LRU and Clock,
-// letting the validation simulator swap policies.
-type Policy interface {
-	Access(page int) bool
-	Pin(page int) error
-	Unpin(page int)
-	Contains(page int) bool
-	Full() bool
-	Len() int
-	Capacity() int
-	Stats() (hits, misses, evictions uint64)
-	ResetStats()
-	HitRatio() float64
-	// SetMetrics attaches (or with nil detaches) an obs mirror that
-	// shadows every hit/miss/evict into a metrics registry.
-	SetMetrics(*Metrics)
-}
-
-// Compile-time conformance.
-var (
-	_ Policy = (*LRU)(nil)
-	_ Policy = (*Clock)(nil)
-)
+// Stats, ResetStats, HitRatio, SetMetrics, Capacity, Len, Full, Pinned,
+// NumPages, and SetOnEvict are promoted from the embedded policyCore,
+// the bookkeeping shared by every Policy.

@@ -3,10 +3,9 @@
 // R-tree, Section 5.5 of the paper). The core LRU is specialized for dense
 // integer page numbers, which both the validation simulator and the real
 // page pool use; Pool layers it over a storage.DiskManager to serve actual
-// page contents with hit/miss accounting.
+// page contents with hit/miss accounting, and ShardedPool stripes pools
+// across shards for concurrent callers.
 package buffer
-
-import "fmt"
 
 // LRU is a fixed-capacity least-recently-used cache over dense page
 // numbers 0..numPages-1. It is implemented with slice-backed intrusive
@@ -16,23 +15,11 @@ import "fmt"
 // Pages can be pinned: a pinned page is always resident, never evicted,
 // and counts against capacity. Pinning a non-resident page faults it in.
 type LRU struct {
-	capacity int
-	numPages int
+	policyCore
 
 	prev, next []int32 // intrusive list links
 	head, tail int32   // most / least recently used, or sentinel
 	resident   []bool
-	pinned     []bool
-
-	size    int // resident pages, including pinned
-	nPinned int
-
-	policyCounters
-
-	// OnEvict, if non-nil, is called with each page evicted, letting a
-	// page pool release the frame memory. It must not call back into the
-	// LRU.
-	OnEvict func(page int)
 }
 
 const sentinel = -1
@@ -42,34 +29,16 @@ const sentinel = -1
 // non-negative; violations panic, as both always come from experiment
 // configuration bugs, not data.
 func NewLRU(capacity, numPages int) *LRU {
-	if capacity < 1 {
-		panic(fmt.Sprintf("buffer: LRU capacity %d < 1", capacity))
-	}
-	if numPages < 0 {
-		panic(fmt.Sprintf("buffer: negative page count %d", numPages))
-	}
 	l := &LRU{ //lint:allow hotalloc constructor: one-time setup of a hot type
-		capacity: capacity,
-		numPages: numPages,
-		prev:     make([]int32, numPages), //lint:allow hotalloc constructor: one-time setup of a hot type
-		next:     make([]int32, numPages), //lint:allow hotalloc constructor: one-time setup of a hot type
-		resident: make([]bool, numPages),  //lint:allow hotalloc constructor: one-time setup of a hot type
-		pinned:   make([]bool, numPages),  //lint:allow hotalloc constructor: one-time setup of a hot type
-		head:     sentinel,
-		tail:     sentinel,
+		policyCore: newPolicyCore("LRU", capacity, numPages),
+		prev:       make([]int32, numPages), //lint:allow hotalloc constructor: one-time setup of a hot type
+		next:       make([]int32, numPages), //lint:allow hotalloc constructor: one-time setup of a hot type
+		resident:   make([]bool, numPages),  //lint:allow hotalloc constructor: one-time setup of a hot type
+		head:       sentinel,
+		tail:       sentinel,
 	}
 	return l
 }
-
-// Capacity returns the page capacity.
-func (l *LRU) Capacity() int { return l.capacity }
-
-// Len returns the number of resident pages (pinned included).
-func (l *LRU) Len() int { return l.size }
-
-// Full reports whether the cache is at capacity — the warm-up boundary of
-// the Bhide/Dan/Dias analysis.
-func (l *LRU) Full() bool { return l.size >= l.capacity }
 
 // Contains reports whether page is resident without touching recency.
 func (l *LRU) Contains(page int) bool { return l.resident[page] }
@@ -104,8 +73,8 @@ func (l *LRU) Pin(page int) error {
 	if l.pinned[page] {
 		return nil
 	}
-	if l.nPinned >= l.capacity {
-		return fmt.Errorf("buffer: cannot pin page %d: all %d slots pinned", page, l.capacity)
+	if err := l.checkPin(page); err != nil {
+		return err
 	}
 	if l.resident[page] {
 		l.unlink(int32(page))
@@ -174,20 +143,20 @@ func (l *LRU) Install(page int) bool {
 // resident pages. The update path calls this when node splits allocate
 // pages past the tree's original extent.
 func (l *LRU) Grow(numPages int) {
-	if numPages <= l.numPages {
+	old := l.numPages
+	if !l.grow(numPages) {
 		return
 	}
-	extra := numPages - l.numPages
+	extra := numPages - old
 	l.prev = append(l.prev, make([]int32, extra)...)
 	l.next = append(l.next, make([]int32, extra)...)
 	l.resident = append(l.resident, make([]bool, extra)...)
-	l.pinned = append(l.pinned, make([]bool, extra)...)
-	l.numPages = numPages
 }
 
-// Remove drops page from the cache without invoking OnEvict or counting
-// an eviction. Used by pools to back out a fault whose source read failed.
-// Removing a pinned or absent page is a no-op returning false.
+// Remove drops page from the cache without invoking the evict hook or
+// counting an eviction. Used by pools to back out a fault whose source
+// read failed. Removing a pinned or absent page is a no-op returning
+// false.
 func (l *LRU) Remove(page int) bool {
 	if l.pinned[page] || !l.resident[page] {
 		return false
@@ -198,8 +167,9 @@ func (l *LRU) Remove(page int) bool {
 	return true
 }
 
-// Stats, ResetStats, HitRatio, and SetMetrics are promoted from the
-// embedded policyCounters, the accounting struct shared by every Policy.
+// Stats, ResetStats, HitRatio, SetMetrics, Capacity, Len, Full, Pinned,
+// NumPages, and SetOnEvict are promoted from the embedded policyCore,
+// the bookkeeping shared by every Policy.
 
 func (l *LRU) evictLRU() {
 	if err := l.tryEvict(); err != nil {
@@ -212,15 +182,12 @@ func (l *LRU) evictLRU() {
 func (l *LRU) tryEvict() error {
 	victim := l.tail
 	if victim == sentinel {
-		return fmt.Errorf("buffer: no evictable page (capacity %d, %d pinned)", l.capacity, l.nPinned)
+		return noEvictableErr(l.capacity, l.nPinned)
 	}
 	l.unlink(victim)
 	l.resident[victim] = false
 	l.size--
-	l.evict()
-	if l.OnEvict != nil {
-		l.OnEvict(int(victim))
-	}
+	l.evictPage(int(victim))
 	return nil
 }
 

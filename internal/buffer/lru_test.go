@@ -192,7 +192,7 @@ func TestLRURemove(t *testing.T) {
 func TestLRUOnEvict(t *testing.T) {
 	l := NewLRU(2, 10)
 	var evicted []int
-	l.OnEvict = func(p int) { evicted = append(evicted, p) }
+	l.SetOnEvict(func(p int) { evicted = append(evicted, p) })
 	accessAll(l, []int{1, 2, 3, 4})
 	if len(evicted) != 2 || evicted[0] != 1 || evicted[1] != 2 {
 		t.Errorf("evicted = %v", evicted)

@@ -229,13 +229,39 @@ func (c *policyCounters) HitRatio() float64 {
 	return float64(c.hits) / float64(total)
 }
 
+// shardView returns a shallow clone of m for shard number `shard` of n:
+// the obs counters are shared (shards sum into one per-policy series),
+// but the page→level mapping is remapped so a shard reporting its local
+// page numbers still increments the right global level. Nil-safe; with
+// n == 1 the mapping is the identity and m itself is returned.
+func (m *Metrics) shardView(shard, n int) *Metrics {
+	if m == nil || n <= 1 {
+		return m
+	}
+	v := *m
+	if m.levelOf != nil {
+		locals := shardPages(len(m.levelOf), n, shard)
+		v.levelOf = make([]int, locals) //lint:allow hotalloc one-time mirror setup when a registry is attached
+		for local := 0; local < locals; local++ {
+			v.levelOf[local] = m.levelOf[local*n+shard]
+		}
+	}
+	return &v
+}
+
 // PolicyName returns the metrics label of a replacement policy.
 func PolicyName(p Policy) string {
-	switch p.(type) {
+	switch p := p.(type) {
 	case *LRU:
 		return "lru"
 	case *Clock:
 		return "clock"
+	case *TwoQ:
+		return "2q"
+	case *ClockPro:
+		return "clockpro"
+	case *Sharded:
+		return PolicyName(p.shards[0])
 	default:
 		return "custom"
 	}

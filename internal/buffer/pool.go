@@ -23,10 +23,11 @@ type PageSink interface {
 	WritePage(page int, data []byte) error
 }
 
-// Pool is an LRU page buffer serving page contents from a PageSource —
-// the database buffer pool the paper assumes around the R-tree. Every
-// miss costs one PageSource read, which is the "disk access" the paper's
-// EDT metric counts.
+// Pool is a page buffer serving page contents from a PageSource — the
+// database buffer pool the paper assumes around the R-tree. Replacement
+// decisions delegate to a PoolPolicy (LRU by default; see NewPoolWith).
+// Every miss costs one PageSource read, which is the "disk access" the
+// paper's EDT metric counts.
 //
 // The read path treats pages as immutable, matching the paper's
 // query-only experiments. The update path adds dirty-page tracking on
@@ -40,13 +41,19 @@ type PageSink interface {
 type Pool struct {
 	src    PageSource
 	sink   PageSink
-	lru    *LRU
+	policy PoolPolicy
 	frames [][]byte
 	free   [][]byte // recycled frames from evictions
 
 	dirty     []bool // page -> contents ahead of the source
 	dirtyList []int  // pages flagged dirty, unordered, may hold cleaned entries
 	nDirty    int
+
+	// dirtyVer is bumped on every Put/MarkDirty of a page. A locked
+	// wrapper that copies a dirty frame out, writes it back with no lock
+	// held, and then commits the outcome (wroteBackVer) uses it to detect
+	// a concurrent re-dirty: a stale write-back must not clear the flag.
+	dirtyVer []uint32
 
 	// readFailures counts source reads that returned an error. Failed
 	// reads still count as misses (a physical read was issued) but leave
@@ -64,7 +71,7 @@ type Pool struct {
 // registry alongside the pool's own counters. Nil detaches.
 func (p *Pool) SetMetrics(m *Metrics) {
 	p.metrics = m
-	p.lru.SetMetrics(m)
+	p.policy.SetMetrics(m)
 }
 
 func (p *Pool) noteReadFailure() {
@@ -77,16 +84,25 @@ func (p *Pool) noteFailedWrite() {
 	p.metrics.onWriteFailure()
 }
 
-// NewPool returns a pool of the given capacity (in pages) over pages
-// [0, numPages) of src.
+// NewPool returns an LRU pool of the given capacity (in pages) over
+// pages [0, numPages) of src.
 func NewPool(src PageSource, capacity, numPages int) *Pool {
+	return NewPoolWith(src, capacity, numPages, func(capacity, numPages int) PoolPolicy {
+		return NewLRU(capacity, numPages)
+	})
+}
+
+// NewPoolWith returns a pool whose replacement decisions are made by the
+// policy the factory constructs (see FactoryFor for the built-in names).
+func NewPoolWith(src PageSource, capacity, numPages int, factory PolicyFactory) *Pool {
 	p := &Pool{
-		src:    src,
-		lru:    NewLRU(capacity, numPages),
-		frames: make([][]byte, numPages),
-		dirty:  make([]bool, numPages),
+		src:      src,
+		policy:   factory(capacity, numPages),
+		frames:   make([][]byte, numPages),
+		dirty:    make([]bool, numPages),
+		dirtyVer: make([]uint32, numPages),
 	}
-	p.lru.OnEvict = func(page int) {
+	p.policy.SetOnEvict(func(page int) {
 		if p.dirty[page] {
 			// Every eviction point writes the victim back first; a dirty
 			// page reaching here means the write-back protocol was
@@ -95,7 +111,7 @@ func NewPool(src PageSource, capacity, numPages int) *Pool {
 		}
 		p.free = append(p.free, p.frames[page])
 		p.frames[page] = nil
-	}
+	})
 	return p
 }
 
@@ -112,7 +128,8 @@ func (p *Pool) Grow(numPages int) {
 	extra := numPages - len(p.frames)
 	p.frames = append(p.frames, make([][]byte, extra)...)
 	p.dirty = append(p.dirty, make([]bool, extra)...)
-	p.lru.Grow(numPages)
+	p.dirtyVer = append(p.dirtyVer, make([]uint32, extra)...)
+	p.policy.Grow(numPages)
 }
 
 // Get returns the contents of page, reading it from the source on a miss.
@@ -122,14 +139,14 @@ func (p *Pool) Get(page int) ([]byte, error) {
 	if page < 0 || page >= len(p.frames) {
 		return nil, fmt.Errorf("buffer: page %d outside [0,%d)", page, len(p.frames))
 	}
-	if p.lru.Contains(page) && p.frames[page] != nil {
-		p.lru.Access(page)
+	if p.policy.Contains(page) && p.frames[page] != nil {
+		p.policy.Access(page)
 		return p.frames[page], nil
 	}
 	if err := p.writeBackVictim(); err != nil {
 		return nil, err
 	}
-	p.lru.Access(page)
+	p.policy.Access(page)
 	frame := p.takeFrame()
 	if err := p.src.ReadPage(page, frame); err != nil {
 		// Back out the fault so a failed read never leaves a garbage
@@ -137,7 +154,7 @@ func (p *Pool) Get(page int) ([]byte, error) {
 		// storage layer's fault classification (transient vs permanent)
 		// survives the trip through the pool.
 		p.noteReadFailure()
-		p.lru.Remove(page)
+		p.policy.Remove(page)
 		p.free = append(p.free, frame)
 		return nil, fmt.Errorf("buffer: reading page %d: %w", page, err)
 	}
@@ -169,10 +186,10 @@ func (p *Pool) TryGet(page int) ([]byte, bool, error) {
 	if page < 0 || page >= len(p.frames) {
 		return nil, false, fmt.Errorf("buffer: page %d outside [0,%d)", page, len(p.frames))
 	}
-	if !p.lru.Contains(page) || p.frames[page] == nil {
+	if !p.policy.Contains(page) || p.frames[page] == nil {
 		return nil, false, nil
 	}
-	p.lru.Access(page) // resident: counts the hit and touches recency
+	p.policy.Access(page) // resident: counts the hit and touches recency
 	return p.frames[page], true, nil
 }
 
@@ -185,7 +202,7 @@ func (p *Pool) readPage(page int, dst []byte) error {
 // install commits a successful fault: counts the miss (evicting if
 // needed) and copies data into a frame.
 func (p *Pool) install(page int, data []byte) {
-	if p.lru.Access(page) {
+	if p.policy.Access(page) {
 		copy(p.frames[page], data) // lost a fault race: refresh in place
 		return
 	}
@@ -195,12 +212,13 @@ func (p *Pool) install(page int, data []byte) {
 }
 
 // failedFault accounts for a fault whose source read failed: the miss
-// still counts (a physical read was issued) but nothing stays resident.
-// The returned error matches Get's wrapping.
+// still counts (a physical read was issued) but nothing becomes
+// resident. It deliberately avoids Policy.Access — a fault here could
+// evict a victim no one wrote back (the caller only cleans victims on
+// the success path). The returned error matches Get's wrapping.
 func (p *Pool) failedFault(page int, err error) error {
-	p.lru.Access(page)
+	p.policy.NoteMiss(page)
 	p.noteReadFailure()
-	p.lru.Remove(page)
 	return fmt.Errorf("buffer: reading page %d: %w", page, err)
 }
 
@@ -210,11 +228,11 @@ func (p *Pool) preparePin(page int) (needRead bool, err error) {
 	if page < 0 || page >= len(p.frames) {
 		return false, fmt.Errorf("buffer: page %d outside [0,%d)", page, len(p.frames))
 	}
-	if p.lru.pinned[page] {
+	if p.policy.Pinned(page) {
 		return false, nil
 	}
-	resident := p.lru.Contains(page)
-	if err := p.lru.Pin(page); err != nil {
+	resident := p.policy.Contains(page)
+	if err := p.policy.Pin(page); err != nil {
 		return false, err
 	}
 	return !resident, nil
@@ -231,31 +249,31 @@ func (p *Pool) installPinned(page int, data []byte) {
 // Pin's error wrapping.
 func (p *Pool) failedPin(page int, err error) error {
 	p.noteReadFailure()
-	p.lru.Unpin(page)
-	p.lru.Remove(page)
+	p.policy.Unpin(page)
+	p.policy.Remove(page)
 	return fmt.Errorf("buffer: pinning page %d: %w", page, err)
 }
 
 // Pin makes page permanently resident (reading it if absent).
 func (p *Pool) Pin(page int) error {
-	if p.lru.pinned[page] {
+	if p.policy.Pinned(page) {
 		return nil
 	}
-	resident := p.lru.Contains(page)
+	resident := p.policy.Contains(page)
 	if !resident {
 		if err := p.writeBackVictim(); err != nil {
 			return err
 		}
 	}
-	if err := p.lru.Pin(page); err != nil {
+	if err := p.policy.Pin(page); err != nil {
 		return err
 	}
 	if !resident {
 		frame := p.takeFrame()
 		if err := p.src.ReadPage(page, frame); err != nil {
 			p.noteReadFailure()
-			p.lru.Unpin(page)
-			p.lru.Remove(page)
+			p.policy.Unpin(page)
+			p.policy.Remove(page)
 			p.free = append(p.free, frame)
 			return fmt.Errorf("buffer: pinning page %d: %w", page, err)
 		}
@@ -289,12 +307,12 @@ func (p *Pool) Put(page int, data []byte) error {
 	if len(data) != p.src.PageSize() {
 		return fmt.Errorf("buffer: put of %d bytes != page size %d", len(data), p.src.PageSize())
 	}
-	if !p.lru.Contains(page) {
+	if !p.policy.Contains(page) {
 		if err := p.writeBackVictim(); err != nil {
 			return err
 		}
 	}
-	p.lru.Install(page)
+	p.policy.Install(page)
 	if p.frames[page] == nil {
 		p.frames[page] = p.takeFrame()
 	}
@@ -309,7 +327,7 @@ func (p *Pool) MarkDirty(page int) error {
 	if page < 0 || page >= len(p.frames) {
 		return fmt.Errorf("buffer: page %d outside [0,%d)", page, len(p.frames))
 	}
-	if !p.lru.Contains(page) || p.frames[page] == nil {
+	if !p.policy.Contains(page) || p.frames[page] == nil {
 		return fmt.Errorf("buffer: MarkDirty of non-resident page %d", page)
 	}
 	p.setDirty(page)
@@ -344,6 +362,7 @@ func (p *Pool) FlushDirty() error {
 }
 
 func (p *Pool) setDirty(page int) {
+	p.dirtyVer[page]++
 	if p.dirty[page] {
 		return
 	}
@@ -369,10 +388,21 @@ func (p *Pool) flushPage(page int) error {
 // sinkWrite performs the physical write-back. It touches no pool state,
 // so a locked wrapper may call it without holding the state lock.
 func (p *Pool) sinkWrite(page int, data []byte) error {
-	if p.sink == nil {
+	return sinkWriteTo(p.sink, page, data)
+}
+
+// sinkSnapshot returns the attached sink (possibly nil). A wrapper that
+// writes with no lock held snapshots the sink under its lock first, so a
+// concurrent SetSink cannot race the field read.
+func (p *Pool) sinkSnapshot() PageSink { return p.sink }
+
+// sinkWriteTo writes data to sink, sharing the no-sink error with every
+// write-back path.
+func sinkWriteTo(sink PageSink, page int, data []byte) error {
+	if sink == nil {
 		return fmt.Errorf("buffer: no write-back sink attached")
 	}
-	return p.sink.WritePage(page, data)
+	return sink.WritePage(page, data)
 }
 
 // wroteBack commits the outcome of a sink write: success clears the
@@ -393,10 +423,10 @@ func (p *Pool) wroteBack(page int, err error) error {
 // page. Single-threaded pools call it immediately before any operation
 // that may evict.
 func (p *Pool) writeBackVictim() error {
-	if !p.lru.Full() {
+	if !p.policy.Full() {
 		return nil
 	}
-	v, ok := p.lru.Victim()
+	v, ok := p.policy.Victim()
 	if !ok || !p.dirty[v] {
 		return nil
 	}
@@ -408,15 +438,51 @@ func (p *Pool) writeBackVictim() error {
 // into dst and returns its page number; otherwise it returns -1 and the
 // caller may evict freely (until it releases its write serialization).
 func (p *Pool) dirtyVictim(dst []byte) int {
-	if !p.lru.Full() {
+	if !p.policy.Full() {
 		return -1
 	}
-	v, ok := p.lru.Victim()
+	v, ok := p.policy.Victim()
 	if !ok || !p.dirty[v] {
 		return -1
 	}
 	copy(dst, p.frames[v])
 	return v
+}
+
+// dirtyVictimVer is dirtyVictim plus the victim's dirty version, for a
+// wrapper that releases its lock between the copy and the commit.
+func (p *Pool) dirtyVictimVer(dst []byte) (page int, ver uint32) {
+	v := p.dirtyVictim(dst)
+	if v < 0 {
+		return -1, 0
+	}
+	return v, p.dirtyVer[v]
+}
+
+// copyDirtyVer is copyDirty plus the page's dirty version.
+func (p *Pool) copyDirtyVer(page int, dst []byte) (ver uint32, ok bool) {
+	if !p.copyDirty(page, dst) {
+		return 0, false
+	}
+	return p.dirtyVer[page], true
+}
+
+// wroteBackVer commits the outcome of an unlocked sink write that was
+// fed from a versioned copy. If the page was re-dirtied since the copy
+// (version moved), a successful write still counts as a write-back but
+// must not clear the flag — the fresher contents remain to be written.
+// The stale on-disk state is safe: callers WAL-log before dirtying, so
+// it is redo-covered.
+func (p *Pool) wroteBackVer(page int, ver uint32, err error) error {
+	if err != nil {
+		p.noteFailedWrite()
+		return fmt.Errorf("buffer: writing back page %d: %w", page, err)
+	}
+	p.metrics.onWriteBack()
+	if p.dirtyVer[page] == ver {
+		p.clearDirty(page)
+	}
+	return nil
 }
 
 // dirtySnapshot returns the dirty pages in ascending order, for a locked
@@ -442,25 +508,25 @@ func (p *Pool) copyDirty(page int, dst []byte) bool {
 	return true
 }
 
-// Unpin returns a pinned page to LRU management.
-func (p *Pool) Unpin(page int) { p.lru.Unpin(page) }
+// Unpin returns a pinned page to replacement management.
+func (p *Pool) Unpin(page int) { p.policy.Unpin(page) }
 
 // Stats returns cumulative hits, misses, and evictions. Misses equal the
 // number of source reads issued.
-func (p *Pool) Stats() (hits, misses, evictions uint64) { return p.lru.Stats() }
+func (p *Pool) Stats() (hits, misses, evictions uint64) { return p.policy.Stats() }
 
 // ResetStats zeroes the counters without disturbing contents.
 func (p *Pool) ResetStats() {
-	p.lru.ResetStats()
+	p.policy.ResetStats()
 	p.readFailures = 0
 	p.failedWrites = 0
 }
 
 // HitRatio returns the cumulative hit ratio.
-func (p *Pool) HitRatio() float64 { return p.lru.HitRatio() }
+func (p *Pool) HitRatio() float64 { return p.policy.HitRatio() }
 
 // Capacity returns the pool capacity in pages.
-func (p *Pool) Capacity() int { return p.lru.Capacity() }
+func (p *Pool) Capacity() int { return p.policy.Capacity() }
 
 // Resident returns the number of pages currently buffered.
-func (p *Pool) Resident() int { return p.lru.Len() }
+func (p *Pool) Resident() int { return p.policy.Len() }

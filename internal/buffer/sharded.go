@@ -1,0 +1,498 @@
+package buffer
+
+import (
+	"fmt"
+	"slices"
+	"sync"
+	"sync/atomic"
+)
+
+// PagePool is the buffer-pool contract the storage layer programs
+// against: serve page contents with hit/miss accounting, pin pages,
+// track dirty pages, and write them back. Pool (single-threaded) and
+// ShardedPool (concurrent) both satisfy it, so a paged tree can swap
+// pools without caring which.
+//
+// Get's ownership contract is the weaker of the two implementations':
+// the returned slice must not be modified, and is only guaranteed valid
+// until the next pool operation (Pool returns an alias that lives until
+// eviction; ShardedPool returns a copy the caller owns).
+type PagePool interface {
+	Get(page int) ([]byte, error)
+	Pin(page int) error
+	Unpin(page int)
+	Put(page int, data []byte) error
+	MarkDirty(page int) error
+	FlushDirty() error
+	Grow(numPages int)
+	SetSink(sink PageSink)
+	SetMetrics(m *Metrics)
+	Stats() (hits, misses, evictions uint64)
+	ResetStats()
+	HitRatio() float64
+	Capacity() int
+	Resident() int
+	DirtyPages() int
+	FailedReads() uint64
+	FailedWrites() uint64
+}
+
+var (
+	_ PagePool = (*Pool)(nil)
+	_ PagePool = (*ShardedPool)(nil)
+)
+
+// ShardedPool is a concurrent page pool striped across independently
+// locked shards: page p lives in shard p mod n as local page p div n,
+// with the capacity split round-robin. Hits on pages in different
+// shards never contend — each shard is a private Pool (any PoolPolicy)
+// under its own mutex, so the hit path is one uncontended lock, one
+// policy update, and one page copy.
+//
+// No lock is ever held across source or sink I/O:
+//
+//   - A fault reads the source with no lock held, then commits under
+//     the shard mutex. Concurrent faults of one page issue duplicate
+//     reads; the losing install refreshes the frame in place and counts
+//     a hit (single-threaded runs never take this path, so shards=1
+//     accounting is bit-identical to Pool's).
+//   - A dirty victim is copied out under the shard mutex, written with
+//     no lock held, and committed with its dirty version (wroteBackVer):
+//     if the page was re-dirtied during the write, the flag stays set
+//     and the fresher contents get written later. The transiently stale
+//     sink state is safe for the same reason Pool's write-backs are:
+//     callers WAL-log batches before dirtying pages, so any write-back
+//     order is redo-covered.
+//   - The PR 7 no-steal contract holds per shard: installClean runs the
+//     victim peek and the install under one continuous mutex hold, so a
+//     dirty page can never be the eviction victim.
+//
+// The source (and sink, if attached) must be safe for concurrent calls
+// on distinct pages — the file-backed and in-memory disk managers are.
+// FlushDirty still writes in ascending global page order; pages being
+// re-dirtied concurrently may remain dirty when it returns.
+type ShardedPool struct {
+	shards   []*poolShard
+	n        int
+	capacity int
+	pageSize int
+	numPages atomic.Int64 // global page-space bound; grown under all shard locks
+	bufs     sync.Pool    // page-size staging buffers for faults and write-backs
+}
+
+// poolShard is one lock stripe: a private Pool over the shard's local
+// page space.
+type poolShard struct {
+	mu   sync.Mutex
+	pool *Pool
+}
+
+// shardIO routes a shard pool's local-space I/O to the global source and
+// sink. src is immutable after construction; sink is swapped via
+// Pool.SetSink under the shard mutex and snapshotted before unlocked
+// writes.
+type shardIO struct {
+	src      PageSource
+	shard, n int
+}
+
+func (io shardIO) PageSize() int { return io.src.PageSize() }
+
+func (io shardIO) ReadPage(local int, dst []byte) error {
+	return io.src.ReadPage(local*io.n+io.shard, dst)
+}
+
+// shardSink maps a shard pool's local write-backs to global pages.
+type shardSink struct {
+	sink     PageSink
+	shard, n int
+}
+
+func (s shardSink) WritePage(local int, data []byte) error {
+	return s.sink.WritePage(local*s.n+s.shard, data)
+}
+
+// NewShardedPool returns an LRU-per-shard pool of the given total
+// capacity (in pages) over pages [0, numPages) of src, striped across
+// the given number of shards.
+func NewShardedPool(src PageSource, capacity, numPages, shards int) *ShardedPool {
+	return NewShardedPoolWith(src, capacity, numPages, shards, func(capacity, numPages int) PoolPolicy {
+		return NewLRU(capacity, numPages)
+	})
+}
+
+// NewShardedPoolWith is NewShardedPool with each shard's replacement
+// policy built by factory (see FactoryFor). shards is clamped to
+// [1, capacity] so every shard has at least one frame.
+func NewShardedPoolWith(src PageSource, capacity, numPages, shards int, factory PolicyFactory) *ShardedPool {
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > capacity {
+		shards = capacity
+	}
+	s := &ShardedPool{
+		shards:   make([]*poolShard, shards),
+		n:        shards,
+		capacity: capacity,
+		pageSize: src.PageSize(),
+	}
+	s.numPages.Store(int64(numPages))
+	s.bufs.New = func() any {
+		//lint:allow hotalloc staging buffers are pooled; New runs once per steady-state buffer
+		return make([]byte, s.pageSize)
+	}
+	for i := 0; i < shards; i++ {
+		s.shards[i] = &poolShard{
+			pool: NewPoolWith(shardIO{src: src, shard: i, n: shards},
+				shardCapacity(capacity, shards, i), shardPages(numPages, shards, i), factory),
+		}
+	}
+	return s
+}
+
+// Shards returns the shard count.
+func (s *ShardedPool) Shards() int { return s.n }
+
+func (s *ShardedPool) locate(page int) (*poolShard, int) {
+	return s.shards[page%s.n], page / s.n
+}
+
+func (s *ShardedPool) getBuf() []byte  { return s.bufs.Get().([]byte) }
+func (s *ShardedPool) putBuf(b []byte) { s.bufs.Put(b) } //lint:allow hotalloc sync.Pool boxing; cheaper than the page copy it recycles
+
+// boundsErr reports a page outside the pool's page space.
+func (s *ShardedPool) boundsErr(page int) error {
+	return fmt.Errorf("buffer: page %d outside [0,%d)", page, s.numPages.Load())
+}
+
+// globalize annotates a shard-local error with the global page number.
+// With one shard local and global numbering coincide, so errors stay
+// byte-identical to Pool's.
+func (s *ShardedPool) globalize(err error, page int) error {
+	if err == nil || s.n == 1 {
+		return err
+	}
+	return fmt.Errorf("%w (global page %d)", err, page)
+}
+
+// Get returns a copy of the page contents, faulting it in on a miss.
+// The returned slice is owned by the caller.
+func (s *ShardedPool) Get(page int) ([]byte, error) {
+	if page < 0 || int64(page) >= s.numPages.Load() {
+		return nil, s.boundsErr(page)
+	}
+	sh, local := s.locate(page)
+	sh.mu.Lock()
+	frame, ok, err := sh.pool.TryGet(local)
+	var out []byte
+	if ok {
+		out = make([]byte, len(frame)) //lint:allow hotalloc the returned page copy is Get's ownership contract
+		copy(out, frame)
+	}
+	sh.mu.Unlock()
+	if ok || err != nil {
+		return out, s.globalize(err, page)
+	}
+	return s.fault(sh, page, local)
+}
+
+// fault reads page from the source with no lock held and installs it,
+// returning a copy the caller owns.
+func (s *ShardedPool) fault(sh *poolShard, page, local int) ([]byte, error) {
+	buf := s.getBuf()
+	err := sh.pool.readPage(local, buf)
+	if err != nil {
+		s.putBuf(buf)
+		sh.mu.Lock()
+		err = sh.pool.failedFault(local, err)
+		sh.mu.Unlock()
+		return nil, s.globalize(err, page)
+	}
+	out := make([]byte, len(buf)) //lint:allow hotalloc the returned page copy is Get's ownership contract
+	copy(out, buf)
+	//lint:allow hotalloc miss-path closure: a fault already pays a source page read, and the hit path allocates nothing
+	err = s.installClean(sh, func() { sh.pool.install(local, buf) })
+	s.putBuf(buf)
+	if err != nil {
+		return nil, s.globalize(err, page)
+	}
+	return out, nil
+}
+
+// installClean runs install (under the shard mutex) in a state where no
+// dirty page can be the eviction victim, writing dirty victims back
+// first — the per-shard no-steal protocol. The victim peek and the
+// install happen under one continuous mutex hold, so the dirty set
+// cannot change in between; each write-back runs with no lock held and
+// commits against the victim's dirty version. A write-back failure fails
+// the caller's operation; the victim stays resident and dirty. Under a
+// steady stream of concurrent Puts to one shard the loop may retry, but
+// every iteration writes one page back, so the system as a whole makes
+// progress.
+func (s *ShardedPool) installClean(sh *poolShard, install func()) error {
+	buf := s.getBuf()
+	defer s.putBuf(buf)
+	for {
+		sh.mu.Lock()
+		v, ver := sh.pool.dirtyVictimVer(buf)
+		if v < 0 {
+			install()
+			sh.mu.Unlock()
+			return nil
+		}
+		snk := sh.pool.sinkSnapshot()
+		sh.mu.Unlock()
+		err := sinkWriteTo(snk, v, buf)
+		sh.mu.Lock()
+		err = sh.pool.wroteBackVer(v, ver, err)
+		sh.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+}
+
+// Pin makes page permanently resident (reading it if absent). Until the
+// read completes a concurrent Get of the same page faults it redundantly
+// and counts a pinned hit; the contents installed here win.
+func (s *ShardedPool) Pin(page int) error {
+	if page < 0 || int64(page) >= s.numPages.Load() {
+		return s.boundsErr(page)
+	}
+	sh, local := s.locate(page)
+	var need bool
+	var perr error
+	if err := s.installClean(sh, func() { need, perr = sh.pool.preparePin(local) }); err != nil {
+		return s.globalize(err, page)
+	}
+	if perr != nil || !need {
+		return s.globalize(perr, page)
+	}
+	buf := s.getBuf()
+	err := sh.pool.readPage(local, buf)
+	if err != nil {
+		s.putBuf(buf)
+		sh.mu.Lock()
+		err = sh.pool.failedPin(local, err)
+		sh.mu.Unlock()
+		return s.globalize(err, page)
+	}
+	sh.mu.Lock()
+	sh.pool.installPinned(local, buf)
+	sh.mu.Unlock()
+	s.putBuf(buf)
+	return nil
+}
+
+// Unpin returns a pinned page to replacement management.
+func (s *ShardedPool) Unpin(page int) {
+	if page < 0 || int64(page) >= s.numPages.Load() {
+		return
+	}
+	sh, local := s.locate(page)
+	sh.mu.Lock()
+	sh.pool.Unpin(local)
+	sh.mu.Unlock()
+}
+
+// Put installs data as the contents of page, resident and dirty — the
+// update path's entry point after its batch is WAL-committed. Installing
+// into a full shard may evict, writing a dirty victim back first (with
+// no lock held; see installClean).
+func (s *ShardedPool) Put(page int, data []byte) error {
+	if page < 0 || int64(page) >= s.numPages.Load() {
+		return s.boundsErr(page)
+	}
+	if len(data) != s.pageSize {
+		return fmt.Errorf("buffer: put of %d bytes != page size %d", len(data), s.pageSize)
+	}
+	sh, local := s.locate(page)
+	var perr error
+	// Under installClean's no-dirty-victim guarantee Pool.Put's own
+	// victim write-back finds nothing to do, so no I/O runs under mu.
+	if err := s.installClean(sh, func() { perr = sh.pool.Put(local, data) }); err != nil {
+		return s.globalize(err, page)
+	}
+	return s.globalize(perr, page)
+}
+
+// MarkDirty flags a resident page whose contents the caller replaced via
+// Put as needing write-back. (ShardedPool's Get hands out copies, so
+// there is no aliased frame to mutate in place; MarkDirty exists for
+// PagePool parity and for callers holding pinned pages.)
+func (s *ShardedPool) MarkDirty(page int) error {
+	if page < 0 || int64(page) >= s.numPages.Load() {
+		return s.boundsErr(page)
+	}
+	sh, local := s.locate(page)
+	sh.mu.Lock()
+	err := sh.pool.MarkDirty(local)
+	sh.mu.Unlock()
+	return s.globalize(err, page)
+}
+
+// FlushDirty writes every dirty page back to the sink in ascending
+// global page order, stopping at the first failure (the failed page and
+// everything after stay dirty). Each page is copied out under its shard
+// mutex and written with no lock held; a page re-dirtied during its
+// write stays dirty. Concurrent mutators may dirty pages the snapshot
+// missed — FlushDirty guarantees only that pages dirty before the call
+// and not re-dirtied during it are clean after.
+func (s *ShardedPool) FlushDirty() error {
+	var pages []int
+	for i, sh := range s.shards {
+		sh.mu.Lock()
+		for _, local := range sh.pool.dirtySnapshot() {
+			pages = append(pages, local*s.n+i)
+		}
+		sh.mu.Unlock()
+	}
+	slices.Sort(pages)
+	buf := s.getBuf()
+	defer s.putBuf(buf)
+	for _, page := range pages {
+		sh, local := s.locate(page)
+		sh.mu.Lock()
+		ver, ok := sh.pool.copyDirtyVer(local, buf)
+		snk := sh.pool.sinkSnapshot()
+		sh.mu.Unlock()
+		if !ok {
+			continue // cleaned by an eviction write-back meanwhile
+		}
+		err := sinkWriteTo(snk, local, buf)
+		sh.mu.Lock()
+		err = sh.pool.wroteBackVer(local, ver, err)
+		sh.mu.Unlock()
+		if err != nil {
+			return s.globalize(err, page)
+		}
+	}
+	return nil
+}
+
+// Grow extends the pool's page-number space to numPages (no-op if not
+// larger). All shard locks are taken (in shard order) so the global
+// bound and the per-shard bounds move together.
+func (s *ShardedPool) Grow(numPages int) {
+	if int64(numPages) <= s.numPages.Load() {
+		return
+	}
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+	}
+	if int64(numPages) > s.numPages.Load() {
+		for i, sh := range s.shards {
+			sh.pool.Grow(shardPages(numPages, s.n, i))
+		}
+		s.numPages.Store(int64(numPages))
+	}
+	for _, sh := range s.shards {
+		sh.mu.Unlock()
+	}
+}
+
+// SetSink attaches the write-back target for dirty pages; nil detaches.
+// Each shard sees the sink through a local→global page mapping.
+func (s *ShardedPool) SetSink(sink PageSink) {
+	for i, sh := range s.shards {
+		var shardTarget PageSink
+		if sink != nil {
+			shardTarget = shardSink{sink: sink, shard: i, n: s.n}
+		}
+		sh.mu.Lock()
+		sh.pool.SetSink(shardTarget)
+		sh.mu.Unlock()
+	}
+}
+
+// SetMetrics attaches an obs mirror: every shard shares the mirror's
+// (atomic) counters, with per-level series remapped through the shard
+// stride so they report global levels. Nil detaches.
+func (s *ShardedPool) SetMetrics(m *Metrics) {
+	for i, sh := range s.shards {
+		sh.mu.Lock()
+		sh.pool.SetMetrics(m.shardView(i, s.n))
+		sh.mu.Unlock()
+	}
+}
+
+// Stats returns cumulative hits, misses, and evictions summed across
+// shards. Shards are read one at a time, so a concurrent access may
+// land between two shard reads; totals are exact once writers quiesce.
+func (s *ShardedPool) Stats() (hits, misses, evictions uint64) {
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		h, m, e := sh.pool.Stats()
+		sh.mu.Unlock()
+		hits += h
+		misses += m
+		evictions += e
+	}
+	return hits, misses, evictions
+}
+
+// ResetStats zeroes the counters without disturbing contents.
+func (s *ShardedPool) ResetStats() {
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		sh.pool.ResetStats()
+		sh.mu.Unlock()
+	}
+}
+
+// HitRatio returns the cumulative hit ratio across shards.
+func (s *ShardedPool) HitRatio() float64 {
+	h, m, _ := s.Stats()
+	if h+m == 0 {
+		return 0
+	}
+	return float64(h) / float64(h+m)
+}
+
+// Capacity returns the total pool capacity in pages.
+func (s *ShardedPool) Capacity() int { return s.capacity }
+
+// Resident returns the number of pages currently buffered.
+func (s *ShardedPool) Resident() int {
+	n := 0
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		n += sh.pool.Resident()
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// DirtyPages returns how many resident pages are ahead of the source.
+func (s *ShardedPool) DirtyPages() int {
+	n := 0
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		n += sh.pool.DirtyPages()
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// FailedReads returns how many source reads errored.
+func (s *ShardedPool) FailedReads() uint64 {
+	var n uint64
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		n += sh.pool.FailedReads()
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// FailedWrites returns how many sink write-backs errored.
+func (s *ShardedPool) FailedWrites() uint64 {
+	var n uint64
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		n += sh.pool.FailedWrites()
+		sh.mu.Unlock()
+	}
+	return n
+}

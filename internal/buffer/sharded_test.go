@@ -1,0 +1,481 @@
+package buffer
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// concSource is a PageSource safe for concurrent reads on distinct (or
+// identical) pages, as ShardedPool requires: page p is filled with
+// byte(p), reads are counted atomically, and failures can be injected
+// per page.
+type concSource struct {
+	pageSize int
+	numPages int
+	reads    atomic.Uint64
+	failOn   map[int]bool // immutable after construction
+}
+
+func (c *concSource) PageSize() int { return c.pageSize }
+
+func (c *concSource) ReadPage(page int, dst []byte) error {
+	if c.failOn[page] {
+		return fmt.Errorf("injected read failure on page %d", page)
+	}
+	if page < 0 || page >= c.numPages {
+		return fmt.Errorf("page %d out of range", page)
+	}
+	for i := range dst[:c.pageSize] {
+		dst[i] = byte(page)
+	}
+	c.reads.Add(1)
+	return nil
+}
+
+// concSink is a PageSink safe for concurrent writes.
+type concSink struct {
+	mu     sync.Mutex
+	pages  map[int][]byte
+	writes int
+	failOn map[int]bool
+}
+
+func newConcSink() *concSink {
+	return &concSink{pages: make(map[int][]byte), failOn: make(map[int]bool)}
+}
+
+func (s *concSink) WritePage(page int, data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.failOn[page] {
+		return fmt.Errorf("injected write failure on page %d", page)
+	}
+	s.pages[page] = append([]byte(nil), data...)
+	s.writes++
+	return nil
+}
+
+func TestShardedPoolServesContent(t *testing.T) {
+	for _, shards := range []int{1, 3, 4, 16} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			src := &concSource{pageSize: 64, numPages: 40}
+			p := NewShardedPool(src, 8, 40, shards)
+			for _, page := range []int{0, 5, 39, 5, 0, 17} {
+				data, err := p.Get(page)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(data) != 64 || data[0] != byte(page) || data[63] != byte(page) {
+					t.Fatalf("page %d content wrong", page)
+				}
+			}
+			hits, misses, _ := p.Stats()
+			if hits != 2 || misses != 4 {
+				t.Errorf("stats = %d/%d, want 2/4", hits, misses)
+			}
+			if got := p.Capacity(); got != 8 {
+				t.Errorf("Capacity = %d", got)
+			}
+		})
+	}
+}
+
+func TestShardedPoolClampsShards(t *testing.T) {
+	src := &concSource{pageSize: 32, numPages: 10}
+	if got := NewShardedPool(src, 4, 10, 64).Shards(); got != 4 {
+		t.Errorf("shards clamped to %d, want capacity 4", got)
+	}
+	if got := NewShardedPool(src, 4, 10, 0).Shards(); got != 1 {
+		t.Errorf("shards clamped to %d, want 1", got)
+	}
+}
+
+func TestShardedPoolBounds(t *testing.T) {
+	src := &concSource{pageSize: 32, numPages: 20}
+	p := NewShardedPool(src, 4, 10, 2)
+	if _, err := p.Get(-1); err == nil {
+		t.Error("Get(-1) succeeded")
+	}
+	if _, err := p.Get(10); err == nil {
+		t.Error("Get past extent succeeded")
+	}
+	p.Grow(20)
+	if _, err := p.Get(15); err != nil {
+		t.Errorf("Get after Grow failed: %v", err)
+	}
+}
+
+func TestShardedPoolReadFailure(t *testing.T) {
+	src := &concSource{pageSize: 32, numPages: 10, failOn: map[int]bool{7: true}}
+	p := NewShardedPool(src, 4, 10, 2)
+	if _, err := p.Get(7); err == nil {
+		t.Fatal("read failure not surfaced")
+	}
+	if p.FailedReads() != 1 {
+		t.Errorf("FailedReads = %d", p.FailedReads())
+	}
+	if _, err := p.Get(3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// oracleOps drives the same deterministic mixed operation sequence
+// against any pool; the oracle test runs it on the legacy SyncPool and
+// on ShardedPool with one shard and demands identical accounting.
+type oraclePool interface {
+	Get(page int) ([]byte, error)
+	Pin(page int) error
+	Unpin(page int)
+	Put(page int, data []byte) error
+	FlushDirty() error
+	Grow(numPages int)
+	Stats() (hits, misses, evictions uint64)
+	DirtyPages() int
+	FailedReads() uint64
+	FailedWrites() uint64
+}
+
+func driveOracle(t *testing.T, p oraclePool, pageSize int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(99))
+	numPages := 64
+	if err := p.Pin(0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4000; i++ {
+		page := rng.Intn(numPages)
+		switch op := rng.Intn(20); {
+		case op < 14:
+			data, err := p.Get(page)
+			if err != nil {
+				if page != 13 { // the injected failure page
+					t.Fatalf("op %d: Get(%d): %v", i, page, err)
+				}
+			} else if data[0] != byte(page) && data[0] != byte(page)^0xAA {
+				t.Fatalf("op %d: page %d content %x", i, page, data[0])
+			}
+		case op < 17:
+			if err := p.Put(page, bytes.Repeat([]byte{byte(page) ^ 0xAA}, pageSize)); err != nil {
+				t.Fatalf("op %d: Put(%d): %v", i, page, err)
+			}
+		case op == 17:
+			if err := p.FlushDirty(); err != nil {
+				t.Fatalf("op %d: FlushDirty: %v", i, err)
+			}
+		case op == 18:
+			if rng.Intn(2) == 0 {
+				p.Unpin(0)
+			} else {
+				_ = p.Pin(0)
+			}
+		default:
+			if rng.Intn(8) == 0 && numPages < 96 {
+				numPages += 8
+				p.Grow(numPages)
+			}
+		}
+	}
+	if err := p.FlushDirty(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardedPoolOracleAgainstSyncPool: with one shard, the sharded pool
+// must agree with the legacy single-lock SyncPool hit for hit, miss for
+// miss, evict for evict, on a mixed read/write/pin/grow/flush workload
+// with injected read failures.
+func TestShardedPoolOracleAgainstSyncPool(t *testing.T) {
+	const pageSize = 48
+	mkSrc := func() *concSource {
+		return &concSource{pageSize: pageSize, numPages: 96, failOn: map[int]bool{13: true}}
+	}
+	legacySink, shardedSink := newConcSink(), newConcSink()
+
+	legacy := NewSyncPool(mkSrc(), 10, 64)
+	legacy.SetSink(legacySink)
+	driveOracle(t, legacy, pageSize)
+
+	sharded := NewShardedPool(mkSrc(), 10, 64, 1)
+	sharded.SetSink(shardedSink)
+	driveOracle(t, sharded, pageSize)
+
+	lh, lm, le := legacy.Stats()
+	sh, sm, se := sharded.Stats()
+	if lh != sh || lm != sm || le != se {
+		t.Errorf("stats diverged: legacy %d/%d/%d, sharded %d/%d/%d", lh, lm, le, sh, sm, se)
+	}
+	if legacy.DirtyPages() != sharded.DirtyPages() {
+		t.Errorf("dirty pages: %d vs %d", legacy.DirtyPages(), sharded.DirtyPages())
+	}
+	if legacy.FailedReads() != sharded.FailedReads() {
+		t.Errorf("failed reads: %d vs %d", legacy.FailedReads(), sharded.FailedReads())
+	}
+	if legacy.FailedWrites() != sharded.FailedWrites() {
+		t.Errorf("failed writes: %d vs %d", legacy.FailedWrites(), sharded.FailedWrites())
+	}
+	legacySink.mu.Lock()
+	shardedSink.mu.Lock()
+	defer legacySink.mu.Unlock()
+	defer shardedSink.mu.Unlock()
+	if len(legacySink.pages) != len(shardedSink.pages) {
+		t.Fatalf("sink page sets diverged: %d vs %d", len(legacySink.pages), len(shardedSink.pages))
+	}
+	for page, want := range legacySink.pages {
+		if !bytes.Equal(want, shardedSink.pages[page]) {
+			t.Errorf("sink page %d contents diverged", page)
+		}
+	}
+}
+
+// The same oracle workload must also hold per policy: ShardedPool with
+// one shard over each policy versus a plain single-threaded Pool with
+// that policy.
+func TestShardedPoolSingleShardMatchesPoolPerPolicy(t *testing.T) {
+	const pageSize = 48
+	for _, name := range PolicyNames() {
+		t.Run(name, func(t *testing.T) {
+			factory, _ := FactoryFor(name)
+			plainSrc := &concSource{pageSize: pageSize, numPages: 64}
+			plain := NewPoolWith(plainSrc, 8, 64, factory)
+			shardSrc := &concSource{pageSize: pageSize, numPages: 64}
+			sharded := NewShardedPoolWith(shardSrc, 8, 64, 1, factory)
+			rng := rand.New(rand.NewSource(21))
+			for i := 0; i < 3000; i++ {
+				page := rng.Intn(64)
+				a, errA := plain.Get(page)
+				b, errB := sharded.Get(page)
+				if (errA == nil) != (errB == nil) {
+					t.Fatalf("op %d: error divergence: %v vs %v", i, errA, errB)
+				}
+				if errA == nil && !bytes.Equal(a, b) {
+					t.Fatalf("op %d: content divergence on page %d", i, page)
+				}
+			}
+			ph, pm, pe := plain.Stats()
+			sh, sm, se := sharded.Stats()
+			if ph != sh || pm != sm || pe != se {
+				t.Fatalf("stats diverged: pool %d/%d/%d, sharded %d/%d/%d", ph, pm, pe, sh, sm, se)
+			}
+			if plainSrc.reads.Load() != shardSrc.reads.Load() {
+				t.Fatalf("source reads diverged: %d vs %d", plainSrc.reads.Load(), shardSrc.reads.Load())
+			}
+		})
+	}
+}
+
+// TestShardedPoolConcurrentStress hammers a sharded pool from many
+// goroutines mixing Get/Put/FlushDirty/Grow with pinned pages present,
+// then verifies contents and accounting. Writers always Put the same
+// bytes a source read produces, so every Get must observe the canonical
+// pattern regardless of interleaving. Run under -race in CI.
+func TestShardedPoolConcurrentStress(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		for _, policy := range []string{"lru", "2q", "clockpro"} {
+			t.Run(fmt.Sprintf("shards=%d/%s", shards, policy), func(t *testing.T) {
+				const pageSize = 64
+				const numPages = 128
+				src := &concSource{pageSize: pageSize, numPages: numPages}
+				factory, _ := FactoryFor(policy)
+				p := NewShardedPoolWith(src, 16, numPages, shards, factory)
+				p.SetSink(newConcSink())
+				for _, pin := range []int{0, 1} {
+					if err := p.Pin(pin); err != nil {
+						t.Fatal(err)
+					}
+				}
+				canonical := func(page int) []byte {
+					return bytes.Repeat([]byte{byte(page)}, pageSize)
+				}
+				const goroutines = 8
+				const opsPer = 2000
+				var wg sync.WaitGroup
+				errs := make(chan error, goroutines)
+				for g := 0; g < goroutines; g++ {
+					wg.Add(1)
+					go func(seed int64) {
+						defer wg.Done()
+						rng := rand.New(rand.NewSource(seed))
+						for i := 0; i < opsPer; i++ {
+							page := rng.Intn(numPages)
+							switch op := rng.Intn(100); {
+							case op < 80:
+								data, err := p.Get(page)
+								if err != nil {
+									errs <- err
+									return
+								}
+								if !bytes.Equal(data, canonical(page)) {
+									errs <- fmt.Errorf("page %d contents corrupted", page)
+									return
+								}
+							case op < 92:
+								if err := p.Put(page, canonical(page)); err != nil {
+									errs <- err
+									return
+								}
+							case op < 96:
+								if err := p.FlushDirty(); err != nil {
+									errs <- err
+									return
+								}
+							default:
+								// Errors on non-resident pages are expected; a resident
+								// page's frame holds the canonical bytes, so re-queuing
+								// it for write-back is always safe.
+								_ = p.MarkDirty(page)
+							}
+						}
+					}(int64(g) + 1)
+				}
+				wg.Wait()
+				close(errs)
+				for err := range errs {
+					t.Fatal(err)
+				}
+				if err := p.FlushDirty(); err != nil {
+					t.Fatal(err)
+				}
+				if p.DirtyPages() != 0 {
+					t.Errorf("DirtyPages = %d after quiesced flush", p.DirtyPages())
+				}
+				hits, misses, _ := p.Stats()
+				if hits+misses == 0 {
+					t.Error("no accesses recorded")
+				}
+				if !p.Contains(0) {
+					t.Error("pinned page evicted")
+				}
+			})
+		}
+	}
+}
+
+// TestShardedPoolNotSlower is the CI speedup guard: on the same
+// single-threaded workload, ShardedPool with one shard must not be
+// meaningfully slower than the legacy SyncPool (generous tolerance, best
+// of several trials, to absorb scheduler noise).
+func TestShardedPoolNotSlower(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	const pageSize = 256
+	const numPages = 512
+	const capacity = 128
+	workload := func(p oraclePool) {
+		rng := rand.New(rand.NewSource(17))
+		for i := 0; i < 60000; i++ {
+			if _, err := p.Get(rng.Intn(numPages)); err != nil {
+				panic(err)
+			}
+		}
+	}
+	timeOne := func(mk func() oraclePool) time.Duration {
+		best := time.Duration(1<<63 - 1)
+		for trial := 0; trial < 5; trial++ {
+			p := mk()
+			start := time.Now()
+			workload(p)
+			if d := time.Since(start); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	legacy := timeOne(func() oraclePool {
+		return NewSyncPool(&concSource{pageSize: pageSize, numPages: numPages}, capacity, numPages)
+	})
+	sharded := timeOne(func() oraclePool {
+		return NewShardedPool(&concSource{pageSize: pageSize, numPages: numPages}, capacity, numPages, 1)
+	})
+	t.Logf("legacy=%v sharded=%v ratio=%.2f", legacy, sharded, float64(sharded)/float64(legacy))
+	if float64(sharded) > float64(legacy)*1.35 {
+		t.Errorf("sharded pool (1 shard) %v vs legacy %v: more than 35%% slower", sharded, legacy)
+	}
+}
+
+// Contains reports residency for tests (not part of PagePool).
+func (s *ShardedPool) Contains(page int) bool {
+	if page < 0 || int64(page) >= s.numPages.Load() {
+		return false
+	}
+	sh, local := s.locate(page)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.pool.policy.Contains(local)
+}
+
+// --- benchmarks (recorded in BENCH_PR9.json) ---
+
+type benchPool interface {
+	Get(page int) ([]byte, error)
+}
+
+func benchPools(b *testing.B, capacity, numPages, pageSize int) map[string]func() benchPool {
+	b.Helper()
+	return map[string]func() benchPool{
+		"syncpool": func() benchPool {
+			return NewSyncPool(&concSource{pageSize: pageSize, numPages: numPages}, capacity, numPages)
+		},
+		"sharded8": func() benchPool {
+			return NewShardedPool(&concSource{pageSize: pageSize, numPages: numPages}, capacity, numPages, 8)
+		},
+	}
+}
+
+// BenchmarkPoolGetHit measures the contended hit path: every page is
+// resident, so each Get is lock + policy touch + copy.
+func BenchmarkPoolGetHit(b *testing.B) {
+	const pageSize = 256
+	const numPages = 64
+	for name, mk := range benchPools(b, numPages, numPages, pageSize) {
+		for _, par := range []int{1, 4, 16} {
+			b.Run(fmt.Sprintf("%s/goroutines=%d", name, par), func(b *testing.B) {
+				p := mk()
+				for pg := 0; pg < numPages; pg++ {
+					if _, err := p.Get(pg); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.SetParallelism(par)
+				b.ResetTimer()
+				b.RunParallel(func(pb *testing.PB) {
+					rng := rand.New(rand.NewSource(42))
+					for pb.Next() {
+						if _, err := p.Get(rng.Intn(numPages)); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+			})
+		}
+	}
+}
+
+// BenchmarkPoolGetMiss measures the fault path: the page set is far
+// larger than capacity, so most Gets read the source.
+func BenchmarkPoolGetMiss(b *testing.B) {
+	const pageSize = 256
+	const numPages = 4096
+	for name, mk := range benchPools(b, 64, numPages, pageSize) {
+		for _, par := range []int{1, 4, 16} {
+			b.Run(fmt.Sprintf("%s/goroutines=%d", name, par), func(b *testing.B) {
+				p := mk()
+				b.SetParallelism(par)
+				b.ResetTimer()
+				b.RunParallel(func(pb *testing.PB) {
+					rng := rand.New(rand.NewSource(42))
+					for pb.Next() {
+						if _, err := p.Get(rng.Intn(numPages)); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+			})
+		}
+	}
+}

@@ -1,0 +1,261 @@
+package core
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+// skewedProbs builds a reproducible skewed access-probability profile —
+// a few hot pages and a long cold tail, the regime where policies
+// actually differ.
+func skewedProbs(n int) []float64 {
+	rng := rand.New(rand.NewPCG(7, 11))
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = 0.9 / math.Pow(float64(i+1), 0.8)
+		out[i] *= 0.8 + 0.4*rng.Float64()
+		if out[i] > 1 {
+			out[i] = 1
+		}
+	}
+	return out
+}
+
+func TestTwoQDefaultTuningMatchesBuffer(t *testing.T) {
+	cases := []struct{ cap, kin, kout int }{
+		{1, 1, 1}, {2, 1, 1}, {4, 1, 2}, {16, 4, 8}, {100, 25, 50},
+	}
+	for _, c := range cases {
+		if got := TwoQDefaultKin(c.cap); got != c.kin {
+			t.Errorf("Kin(%d) = %d, want %d", c.cap, got, c.kin)
+		}
+		if got := TwoQDefaultKout(c.cap); got != c.kout {
+			t.Errorf("Kout(%d) = %d, want %d", c.cap, got, c.kout)
+		}
+	}
+}
+
+// The fixed point must actually close: the expected occupancies under
+// the solved windows fill each queue to its configured share.
+func TestTwoQWindowsCloseOccupancies(t *testing.T) {
+	probs := skewedProbs(400)
+	for _, b := range []int{10, 50, 150} {
+		kin := float64(TwoQDefaultKin(b))
+		kout := float64(TwoQDefaultKout(b))
+		am := float64(b) - kin
+		w := solveTwoQWindows(probs, kin, kout, am)
+		gotIn, gotOut, gotAm := twoQOccupancies(probs, w)
+		for _, chk := range []struct {
+			name      string
+			got, want float64
+		}{{"A1in", gotIn, kin}, {"A1out", gotOut, kout}, {"Am", gotAm, am}} {
+			if math.Abs(chk.got-chk.want) > 1e-3*(1+chk.want) {
+				t.Errorf("buffer %d: %s occupancy %.6f, want %.6f", b, chk.name, chk.got, chk.want)
+			}
+		}
+	}
+}
+
+func TestDiskAccesses2QConventions(t *testing.T) {
+	probs := skewedProbs(300)
+	var ept float64
+	for _, a := range probs {
+		ept += a
+	}
+	if got := DiskAccesses2Q(probs, 0, 0, 0); !almost(got, ept) {
+		t.Errorf("zero buffer: %g, want bufferless EPT %g", got, ept)
+	}
+	if got := DiskAccesses2Q(probs, len(probs), 0, 0); got != 0 {
+		t.Errorf("buffer holding everything: %g, want 0", got)
+	}
+	// Monotone non-increasing in buffer size, and always within the
+	// trivial bounds [0, EPT].
+	prev := math.Inf(1)
+	for _, b := range []int{2, 5, 10, 25, 60, 120, 240} {
+		e := DiskAccesses2Q(probs, b, 0, 0)
+		if e < 0 || e > ept+1e-9 {
+			t.Fatalf("buffer %d: EDT %g outside [0, %g]", b, e, ept)
+		}
+		if e > prev+1e-6 {
+			t.Errorf("buffer %d: EDT %g > previous %g (not monotone)", b, e, prev)
+		}
+		prev = e
+	}
+}
+
+// Under the independence assumption no policy beats A0; the 2Q model
+// must respect the bound wherever the small-buffer caveat does not bite
+// (buffer comfortably above the per-query footprint).
+func TestTwoQModelRespectsOPTBound(t *testing.T) {
+	probs := skewedProbs(300)
+	var ept float64
+	for _, a := range probs {
+		ept += a
+	}
+	p := &Predictor{flat: probs}
+	for _, b := range []int{30, 60, 120, 200} {
+		if float64(b) < 2*ept {
+			continue
+		}
+		opt := p.DiskAccessesOPT(b)
+		twoq := p.DiskAccesses2Q(b)
+		if twoq < opt-1e-3*(1+opt) {
+			t.Errorf("buffer %d: 2Q model %g below the A0 optimum %g", b, twoq, opt)
+		}
+	}
+}
+
+func TestClockProBoundsOrdered(t *testing.T) {
+	p := &Predictor{flat: skewedProbs(250)}
+	for _, b := range []int{1, 5, 20, 80, 200} {
+		lo, hi := p.ClockProBounds(b)
+		if lo > hi {
+			t.Errorf("buffer %d: lo %g > hi %g", b, lo, hi)
+		}
+		if lo < 0 {
+			t.Errorf("buffer %d: negative lower bound %g", b, lo)
+		}
+		opt, lru := p.DiskAccessesOPT(b), p.DiskAccesses(b)
+		if lo != math.Min(opt, lru) || hi != math.Max(opt, lru) {
+			t.Errorf("buffer %d: bracket (%g,%g) not min/max of OPT %g and LRU %g", b, lo, hi, opt, lru)
+		}
+	}
+}
+
+func TestDiskAccessesShardedIdentityAndCost(t *testing.T) {
+	probs := skewedProbs(320)
+	p := &Predictor{flat: probs}
+	for _, b := range []int{8, 40, 160} {
+		base := p.DiskAccesses(b)
+		if got := p.DiskAccessesSharded(b, 1); got != base {
+			t.Errorf("shards=1 at buffer %d: %g, want DiskAccesses %g", b, got, base)
+		}
+		if got := p.DiskAccessesSharded(b, 0); got != base {
+			t.Errorf("shards=0 at buffer %d: %g, want DiskAccesses %g", b, got, base)
+		}
+		for _, n := range []int{2, 4, 8} {
+			sharded := p.DiskAccessesSharded(b, n)
+			if sharded < 0 {
+				t.Fatalf("shards=%d buffer %d: negative EDT %g", n, b, sharded)
+			}
+			// Round-robin page assignment balances the hot set across
+			// shards, so the model predicts near-equivalence — the claim
+			// behind the shards=1 vs shards=N figure.
+			if math.Abs(sharded-base) > 0.05*(1+base) {
+				t.Errorf("shards=%d buffer %d: EDT %g deviates from unsharded %g by more than 5%%", n, b, sharded, base)
+			}
+		}
+	}
+	// A buffer covering every reachable page absorbs everything in every
+	// shard too.
+	if got := p.DiskAccessesSharded(len(probs), 4); got != 0 {
+		t.Errorf("full-coverage sharded EDT = %g, want 0", got)
+	}
+	// The clamp mirrors buffer.NewShardedPool: more shards than frames
+	// degenerates to one frame per shard, not a panic.
+	if got := p.DiskAccessesSharded(2, 8); math.IsNaN(got) || got < 0 {
+		t.Errorf("over-sharded EDT = %g", got)
+	}
+}
+
+// The 2Q renewal model is validated against a direct independent-
+// reference simulation of the 2Q algorithm itself — an oracle written
+// here from the queue rules, independent of internal/buffer.
+func TestTwoQModelAgainstIRMSimulation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("IRM oracle simulation")
+	}
+	probs := skewedProbs(200)
+	for _, b := range []int{20, 60} {
+		model := DiskAccesses2Q(probs, b, 0, 0)
+		sim := simulateTwoQIRM(probs, b, 40000, 9)
+		// Renewal-approximation accuracy: the same few-percent regime the
+		// paper's LRU figures exhibit, with slack for simulation noise.
+		if math.Abs(model-sim) > 0.10*sim+0.05 {
+			t.Errorf("buffer %d: model %.4f vs IRM sim %.4f", b, model, sim)
+		}
+	}
+}
+
+// simulateTwoQIRM replays the 2Q rules (A1in FIFO with no reordering,
+// A1out ghost FIFO, Am LRU, ghost hits promote, A1in preferred for
+// eviction while at its target) against independent Bernoulli accesses,
+// returning misses per query at steady state.
+func simulateTwoQIRM(probs []float64, capacity, queries int, seed uint64) float64 {
+	kin, kout := TwoQDefaultKin(capacity), TwoQDefaultKout(capacity)
+	rng := rand.New(rand.NewPCG(seed, seed^0xabcdef))
+	const (
+		none = iota
+		a1in
+		am
+		ghost
+	)
+	where := make([]int, len(probs))
+	var inQ, outQ, amQ []int // front = oldest for FIFOs; amQ front = LRU
+	remove := func(q []int, p int) []int {
+		for i, v := range q {
+			if v == p {
+				return append(q[:i], q[i+1:]...)
+			}
+		}
+		return q
+	}
+	evict := func() {
+		if len(inQ) >= kin || len(amQ) == 0 {
+			v := inQ[0]
+			inQ = inQ[1:]
+			where[v] = ghost
+			outQ = append(outQ, v)
+			if len(outQ) > kout {
+				where[outQ[0]] = none
+				outQ = outQ[1:]
+			}
+		} else {
+			v := amQ[0]
+			amQ = amQ[1:]
+			where[v] = none
+		}
+	}
+	misses, accesses := 0, 0
+	measureFrom := queries / 4
+	for q := 0; q < queries; q++ {
+		for p, a := range probs {
+			if rng.Float64() >= a {
+				continue
+			}
+			if q >= measureFrom {
+				accesses++
+			}
+			switch where[p] {
+			case a1in: // hit, no reordering
+			case am: // hit, move to MRU
+				amQ = append(remove(amQ, p), p)
+			case ghost: // promotion miss
+				if q >= measureFrom {
+					misses++
+				}
+				outQ = remove(outQ, p)
+				if len(inQ)+len(amQ) >= capacity {
+					evict()
+				}
+				where[p] = am
+				amQ = append(amQ, p)
+			default: // cold miss
+				if q >= measureFrom {
+					misses++
+				}
+				if len(inQ)+len(amQ) >= capacity {
+					evict()
+				}
+				where[p] = a1in
+				inQ = append(inQ, p)
+			}
+		}
+	}
+	return float64(misses) / float64(queries-measureFrom)
+}
+
+func almost(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9*(1+math.Abs(a)+math.Abs(b))
+}

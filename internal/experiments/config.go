@@ -25,6 +25,14 @@ type Config struct {
 	// (paper: 20 x 1,000,000). Zero selects 20 x 50,000 (Quick: 10 x 5,000).
 	SimBatches   int
 	SimBatchSize int
+	// Policy selects the buffer replacement policy for experiments that
+	// drive a real paged tree (ext-system): one of buffer.PolicyNames.
+	// Empty means the LRU the paper models. Policy-comparison experiments
+	// (ext-clock, ext-policy) enumerate policies themselves and ignore it.
+	Policy string
+	// Shards selects the paged-tree pool shard count for the same
+	// experiments; <= 1 means the single-lock pool.
+	Shards int
 	// Metrics, when non-nil, receives engine observability: per-experiment
 	// wall time and build-cache hit/miss counts. Reports stay byte-
 	// identical with or without it.

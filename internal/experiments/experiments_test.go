@@ -13,7 +13,7 @@ func quickCfg() Config {
 func TestRegistry(t *testing.T) {
 	ids := IDs()
 	want := []string{
-		"ext-clock", "ext-dimensions", "ext-knn", "ext-loading", "ext-locality", "ext-nodesize", "ext-staticlru", "ext-system", "ext-validation", "ext-warmup",
+		"ext-clock", "ext-dimensions", "ext-knn", "ext-loading", "ext-locality", "ext-nodesize", "ext-policy", "ext-staticlru", "ext-system", "ext-validation", "ext-warmup",
 		"fig10", "fig11", "fig5", "fig6", "fig7", "fig8", "fig9", "table1", "table2",
 	}
 	if len(ids) != len(want) {

@@ -84,7 +84,7 @@ func runExtSystem(cfg Config) (*Report, error) {
 			return nil, err
 		}
 
-		paged, err := storage.OpenPagedTree(dm, b)
+		paged, err := storage.OpenPagedTreeWith(dm, b, cfg.Policy, cfg.Shards)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,112 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"rtreebuf/internal/buffer"
+	"rtreebuf/internal/geom"
+)
+
+// policyTestLevels is a small three-level geometry with enough nodes to
+// exercise evictions at the buffer sizes below.
+func policyTestLevels() [][]geom.Rect {
+	var leaves []geom.Rect
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 8; j++ {
+			leaves = append(leaves, geom.Rect{
+				MinX: float64(i) / 8, MinY: float64(j) / 8,
+				MaxX: float64(i+1) / 8, MaxY: float64(j+1) / 8,
+			})
+		}
+	}
+	var mid []geom.Rect
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			mid = append(mid, geom.Rect{
+				MinX: float64(i) / 4, MinY: float64(j) / 4,
+				MaxX: float64(i+1) / 4, MaxY: float64(j+1) / 4,
+			})
+		}
+	}
+	root := []geom.Rect{{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}}
+	return [][]geom.Rect{root, mid, leaves}
+}
+
+// A single-shard Sharded policy must be invisible: the full simulation
+// Result — batch-means intervals included — is bit-identical to the
+// plain-LRU reference run.
+func TestShardedSingleShardResultIdentity(t *testing.T) {
+	levels := policyTestLevels()
+	cfg := Config{BufferSize: 12, Batches: 6, BatchSize: 2000, Seed: 42}
+
+	base, err := Run(levels, UniformPoints{}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range buffer.PolicyNames() {
+		factory, err := buffer.FactoryFor(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shardedCfg := cfg
+		shardedCfg.Policy = func(capacity, numPages int) buffer.Policy {
+			return buffer.NewSharded(factory, capacity, numPages, 1)
+		}
+		sharded, err := Run(levels, UniformPoints{}, shardedCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if name == "lru" && !reflect.DeepEqual(base, sharded) {
+			t.Errorf("Sharded(lru, shards=1) result differs from plain LRU:\n got %+v\nwant %+v", sharded, base)
+		}
+
+		bareCfg := cfg
+		bareCfg.Policy = func(capacity, numPages int) buffer.Policy {
+			return factory(capacity, numPages)
+		}
+		bare, err := Run(levels, UniformPoints{}, bareCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(bare, sharded) {
+			t.Errorf("%s: Sharded(shards=1) result differs from bare policy:\n got %+v\nwant %+v", name, sharded, bare)
+		}
+	}
+}
+
+// Multi-shard runs stay deterministic and close to the unsharded hit
+// rate: the round-robin page partition balances the hot set, which is
+// the premise of the shards=1 vs shards=N equivalence figure.
+func TestShardedMultiShardDeterministicAndClose(t *testing.T) {
+	levels := policyTestLevels()
+	cfg := Config{BufferSize: 12, Batches: 6, BatchSize: 2000, Seed: 42}
+	base, err := Run(levels, UniformPoints{}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lru, err := buffer.FactoryFor("lru")
+	if err != nil {
+		t.Fatal(err)
+	}
+	shardedCfg := cfg
+	shardedCfg.Policy = func(capacity, numPages int) buffer.Policy {
+		return buffer.NewSharded(lru, capacity, numPages, 4)
+	}
+	first, err := Run(levels, UniformPoints{}, shardedCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := Run(levels, UniformPoints{}, shardedCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Fatalf("sharded simulation not deterministic:\n%+v\n%+v", first, second)
+	}
+	if d := first.DiskPerQuery.Mean - base.DiskPerQuery.Mean; d < -0.15*base.DiskPerQuery.Mean-1e-9 ||
+		d > 0.15*base.DiskPerQuery.Mean+1e-9 {
+		t.Errorf("shards=4 disk/query %.4f vs shards=1 %.4f: more than 15%% apart",
+			first.DiskPerQuery.Mean, base.DiskPerQuery.Mean)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sync/atomic"
 )
 
 // DefaultPageSize is the page size used throughout the experiments: a
@@ -25,6 +26,23 @@ const MinPageSize = nodeHeaderSize + entrySize
 // IOStats counts physical page transfers.
 type IOStats struct {
 	Reads, Writes uint64
+}
+
+// ioCounters is the managers' internal counter pair. The sharded buffer
+// pool issues ReadPage calls from many goroutines with no lock held
+// (reads of distinct pages are safe on both managers), so the counters
+// must be atomic or the accounting itself would race.
+type ioCounters struct {
+	reads, writes atomic.Uint64
+}
+
+func (c *ioCounters) snapshot() IOStats {
+	return IOStats{Reads: c.reads.Load(), Writes: c.writes.Load()}
+}
+
+func (c *ioCounters) reset() {
+	c.reads.Store(0)
+	c.writes.Store(0)
 }
 
 // DiskManager stores fixed-size pages addressed by dense integers, plus a
@@ -58,7 +76,7 @@ type MemoryManager struct {
 	pageSize int
 	pages    [][]byte
 	meta     []byte
-	stats    IOStats
+	stats    ioCounters
 	metrics  *Metrics
 	closed   bool
 }
@@ -89,7 +107,7 @@ func (m *MemoryManager) ReadPage(page int, dst []byte) error {
 		return fmt.Errorf("storage: read buffer %d < page size %d", len(dst), m.pageSize)
 	}
 	copy(dst, m.pages[page])
-	m.stats.Reads++
+	m.stats.reads.Add(1)
 	m.metrics.noteRead(m.pageSize)
 	return nil
 }
@@ -109,7 +127,7 @@ func (m *MemoryManager) WritePage(page int, data []byte) error {
 		m.pages = append(m.pages, make([]byte, m.pageSize)) //lint:allow hotalloc growth allocates by definition; steady-state overwrites skip this loop
 	}
 	copy(m.pages[page], data)
-	m.stats.Writes++
+	m.stats.writes.Add(1)
 	m.metrics.noteWrite(m.pageSize)
 	return nil
 }
@@ -129,10 +147,10 @@ func (m *MemoryManager) ReadMeta() ([]byte, error) {
 }
 
 // Stats implements DiskManager.
-func (m *MemoryManager) Stats() IOStats { return m.stats }
+func (m *MemoryManager) Stats() IOStats { return m.stats.snapshot() }
 
 // ResetStats implements DiskManager.
-func (m *MemoryManager) ResetStats() { m.stats = IOStats{} }
+func (m *MemoryManager) ResetStats() { m.stats.reset() }
 
 // Close implements DiskManager.
 func (m *MemoryManager) Close() error {
@@ -173,7 +191,7 @@ type FileManager struct {
 	pageSize  int
 	numPages  int
 	meta      []byte
-	stats     IOStats
+	stats     ioCounters
 	metrics   *Metrics
 	hdrDirty  bool // in-memory numPages is ahead of the on-disk header
 	dataDirty bool // page writes since the last sync (ordering guard for WriteMeta)
@@ -298,7 +316,7 @@ func (fm *FileManager) ReadPage(page int, dst []byte) error {
 	if _, err := fm.f.ReadAt(dst[:fm.pageSize], fm.pageOffset(page)); err != nil {
 		return fmt.Errorf("storage: reading page %d: %w", page, err)
 	}
-	fm.stats.Reads++
+	fm.stats.reads.Add(1)
 	fm.metrics.noteRead(fm.pageSize)
 	return nil
 }
@@ -314,7 +332,7 @@ func (fm *FileManager) WritePage(page int, data []byte) error {
 	if _, err := fm.f.WriteAt(data, fm.pageOffset(page)); err != nil {
 		return fmt.Errorf("storage: writing page %d: %w", page, err)
 	}
-	fm.stats.Writes++
+	fm.stats.writes.Add(1)
 	fm.metrics.noteWrite(fm.pageSize)
 	fm.dataDirty = true
 	if page >= fm.numPages {
@@ -394,10 +412,10 @@ func (fm *FileManager) ReadMeta() ([]byte, error) {
 }
 
 // Stats implements DiskManager.
-func (fm *FileManager) Stats() IOStats { return fm.stats }
+func (fm *FileManager) Stats() IOStats { return fm.stats.snapshot() }
 
 // ResetStats implements DiskManager.
-func (fm *FileManager) ResetStats() { fm.stats = IOStats{} }
+func (fm *FileManager) ResetStats() { fm.stats.reset() }
 
 // Close implements DiskManager, flushing any deferred header update
 // first.

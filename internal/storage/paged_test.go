@@ -197,3 +197,50 @@ func TestOpenPagedTreeErrors(t *testing.T) {
 		t.Error("paged tree over empty manager opened")
 	}
 }
+
+// OpenPagedTreeWith must return the same query answers for every
+// replacement policy and shard count — only the hit/miss pattern may
+// change — and reject unknown policy names.
+func TestOpenPagedTreeWithPoliciesAndShards(t *testing.T) {
+	tr := buildTestTree(t, 1200, 16)
+	dm, err := NewMemoryManager(DefaultPageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveTree(dm, tr); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenPagedTreeWith(dm, 20, "bogus", 1); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+	queries := func(pt *PagedTree) {
+		t.Helper()
+		rng := rand.New(rand.NewPCG(511, 512))
+		for i := 0; i < 60; i++ {
+			q := geom.RectAround(geom.Point{X: rng.Float64(), Y: rng.Float64()}, 0.05, 0.05)
+			got, err := pt.SearchWindow(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sameIDs(got, tr.SearchWindow(q)) {
+				t.Fatalf("search mismatch for %v", q)
+			}
+		}
+	}
+	for _, policy := range []string{"", "lru", "clock", "2q", "clockpro"} {
+		for _, shards := range []int{1, 4} {
+			pt, err := OpenPagedTreeWith(dm, 20, policy, shards)
+			if err != nil {
+				t.Fatalf("%s/%d: %v", policy, shards, err)
+			}
+			queries(pt)
+			hits, misses, _ := pt.Pool().Stats()
+			if hits == 0 || misses == 0 {
+				t.Errorf("%s/%d: degenerate stats hits=%d misses=%d", policy, shards, hits, misses)
+			}
+			if r := pt.Pool().Resident(); r > 20 {
+				t.Errorf("%s/%d: resident %d exceeds capacity", policy, shards, r)
+			}
+		}
+	}
+}

@@ -354,7 +354,7 @@ func readLiveNodes(dm DiskManager, meta TreeMeta) ([]rtree.NodeData, error) {
 // measured misses per query with core.Predictor.DiskAccesses.
 type PagedTree struct {
 	dm   DiskManager
-	pool *buffer.Pool
+	pool buffer.PagePool
 	meta TreeMeta
 
 	// Update-path state, nil/zero on read-only trees (OpenPagedTree).
@@ -371,8 +371,24 @@ func (s dmSource) PageSize() int                       { return s.dm.PageSize() 
 func (s dmSource) ReadPage(page int, dst []byte) error { return s.dm.ReadPage(page, dst) }
 
 // OpenPagedTree opens a persisted tree for buffered querying with the
-// given buffer capacity in pages.
+// given buffer capacity in pages, using the single-lock LRU pool the
+// paper models. OpenPagedTreeWith selects other policies or a sharded
+// pool.
 func OpenPagedTree(dm DiskManager, bufferPages int) (*PagedTree, error) {
+	return OpenPagedTreeWith(dm, bufferPages, "", 1)
+}
+
+// OpenPagedTreeWith opens a persisted tree for buffered querying with a
+// named replacement policy (see buffer.PolicyNames; "" means LRU) and a
+// shard count. shards <= 1 selects the single-lock Pool; more shards
+// select the lock-striped ShardedPool, whose hit path scales across
+// concurrent readers at a hit-rate cost ext-policy shows to be within
+// a few percent.
+func OpenPagedTreeWith(dm DiskManager, bufferPages int, policy string, shards int) (*PagedTree, error) {
+	factory, err := buffer.FactoryFor(policy)
+	if err != nil {
+		return nil, err
+	}
 	metaBuf, err := dm.ReadMeta()
 	if err != nil {
 		return nil, err
@@ -384,9 +400,15 @@ func OpenPagedTree(dm DiskManager, bufferPages int) (*PagedTree, error) {
 	if meta.NumPages() == 0 {
 		return nil, fmt.Errorf("storage: persisted tree has no pages")
 	}
+	var pool buffer.PagePool
+	if shards > 1 {
+		pool = buffer.NewShardedPoolWith(dmSource{dm}, bufferPages, meta.PageSpan(), shards, factory)
+	} else {
+		pool = buffer.NewPoolWith(dmSource{dm}, bufferPages, meta.PageSpan(), factory)
+	}
 	return &PagedTree{
 		dm:   dm,
-		pool: buffer.NewPool(dmSource{dm}, bufferPages, meta.PageSpan()),
+		pool: pool,
 		meta: meta,
 	}, nil
 }
@@ -395,7 +417,7 @@ func OpenPagedTree(dm DiskManager, bufferPages int) (*PagedTree, error) {
 func (pt *PagedTree) Meta() TreeMeta { return pt.meta }
 
 // Pool exposes the underlying buffer pool (for statistics and pinning).
-func (pt *PagedTree) Pool() *buffer.Pool { return pt.pool }
+func (pt *PagedTree) Pool() buffer.PagePool { return pt.pool }
 
 // PinLevels pins the top n levels of the tree in the buffer, the policy
 // studied in Section 5.5. On a level-order tree level pages are

@@ -166,12 +166,57 @@ func NewNDPredictor(levels [][]NDRect, q []float64) (*NDPredictor, error) {
 type (
 	// LRU is the least-recently-used page cache with pinning.
 	LRU = buffer.LRU
-	// Pool serves page contents through an LRU over a page source.
+	// Clock is the second-chance approximation of LRU.
+	Clock = buffer.Clock
+	// TwoQ is the scan-resistant 2Q policy (A1in/A1out/Am).
+	TwoQ = buffer.TwoQ
+	// ClockPro is the adaptive hot/cold Clock-Pro policy.
+	ClockPro = buffer.ClockPro
+	// PolicyFactory builds a replacement policy for a pool.
+	PolicyFactory = buffer.PolicyFactory
+	// PageSource supplies page contents on a buffer miss.
+	PageSource = buffer.PageSource
+	// Pool serves page contents through a replacement policy over a
+	// page source under one lock.
 	Pool = buffer.Pool
+	// ShardedPool is the lock-striped concurrent pool: pages hash to
+	// shards, each with its own policy instance and mutex.
+	ShardedPool = buffer.ShardedPool
+	// PagePool is the interface both pool flavors satisfy.
+	PagePool = buffer.PagePool
 )
 
 // NewLRU returns an LRU cache of capacity pages over [0, numPages).
 func NewLRU(capacity, numPages int) *LRU { return buffer.NewLRU(capacity, numPages) }
+
+// NewClock returns a Clock cache of capacity pages over [0, numPages).
+func NewClock(capacity, numPages int) *Clock { return buffer.NewClock(capacity, numPages) }
+
+// NewTwoQ returns a 2Q cache with the default Kin/Kout tuning.
+func NewTwoQ(capacity, numPages int) *TwoQ { return buffer.NewTwoQ(capacity, numPages) }
+
+// NewClockPro returns a Clock-Pro cache of capacity pages.
+func NewClockPro(capacity, numPages int) *ClockPro { return buffer.NewClockPro(capacity, numPages) }
+
+// PolicyNames lists the replacement policies FactoryFor accepts.
+func PolicyNames() []string { return buffer.PolicyNames() }
+
+// FactoryFor resolves a policy name ("lru", "clock", "2q", "clockpro";
+// empty means LRU) to its factory.
+func FactoryFor(name string) (PolicyFactory, error) { return buffer.FactoryFor(name) }
+
+// NewBufferPool returns the single-lock pool with the given policy
+// factory (nil = LRU).
+func NewBufferPool(src PageSource, capacity, numPages int, factory PolicyFactory) *Pool {
+	return buffer.NewPoolWith(src, capacity, numPages, factory)
+}
+
+// NewShardedPool returns the lock-striped concurrent pool: capacity
+// split across shards, each running its own instance of the policy
+// (nil = LRU).
+func NewShardedPool(src PageSource, capacity, numPages, shards int, factory PolicyFactory) *ShardedPool {
+	return buffer.NewShardedPoolWith(src, capacity, numPages, shards, factory)
+}
 
 // Simulation (the paper's validation methodology).
 type (
@@ -245,4 +290,11 @@ func LoadTreeFromDisk(dm DiskManager) (*Tree, error) { return storage.LoadTree(d
 // OpenPagedTree opens a persisted tree for buffered querying.
 func OpenPagedTree(dm DiskManager, bufferPages int) (*PagedTree, error) {
 	return storage.OpenPagedTree(dm, bufferPages)
+}
+
+// OpenPagedTreeWith opens a persisted tree with an explicit replacement
+// policy (one of PolicyNames; empty = LRU) and shard count (>1 selects
+// the lock-striped concurrent pool).
+func OpenPagedTreeWith(dm DiskManager, bufferPages int, policy string, shards int) (*PagedTree, error) {
+	return storage.OpenPagedTreeWith(dm, bufferPages, policy, shards)
 }
