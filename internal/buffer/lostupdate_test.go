@@ -1,0 +1,197 @@
+package buffer
+
+import (
+	"bytes"
+	"testing"
+)
+
+// These tests replay, deterministically, the interleavings ShardedPool
+// can produce between an unlocked source read and a concurrent Put —
+// the lost-update class REVIEW.md flagged. The fault's install must
+// never clobber a frame whose contents are ahead of the source (dirty,
+// or clean because the newer contents were already flushed), and a
+// pin's install must never replace a frame a concurrent Put created.
+
+func repeatByte(pageSize int, b byte) []byte {
+	return bytes.Repeat([]byte{b}, pageSize)
+}
+
+// beginFault replays the unlocked half of ShardedPool's fault path up
+// to the point where the source bytes are staged but not yet committed:
+// probe the miss, capture the dirty version, read the source.
+func beginFault(t *testing.T, p *Pool, page int) (stale []byte, ver uint32) {
+	t.Helper()
+	if _, ok, err := p.TryGet(page); ok || err != nil {
+		t.Fatalf("TryGet(%d) = resident %v, err %v; want a clean miss", page, ok, err)
+	}
+	ver = p.faultVersion(page)
+	stale = make([]byte, p.src.PageSize())
+	if err := p.readPage(page, stale); err != nil {
+		t.Fatalf("staging source read: %v", err)
+	}
+	return stale, ver
+}
+
+func TestInstallKeepsDirtyFrameOverStaleFault(t *testing.T) {
+	const pageSize = 32
+	src := &faultySource{pageSize: pageSize}
+	p := NewPool(src, 4, 8)
+	sink := newConcSink()
+	p.SetSink(sink)
+
+	// A fault of page 3 stages its source read; then a Put lands before
+	// the fault commits.
+	stale, ver := beginFault(t, p, 3)
+	want := repeatByte(pageSize, 0xEE)
+	if err := p.Put(3, want); err != nil {
+		t.Fatal(err)
+	}
+	p.install(3, stale, ver)
+
+	got, err := p.Get(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("stale fault clobbered the dirty frame: got %x, want %x", got[0], want[0])
+	}
+	if !p.dirty[3] {
+		t.Error("page 3 no longer dirty after losing install")
+	}
+	// The committed contents — not the stale source bytes — reach the sink.
+	if err := p.FlushDirty(); err != nil {
+		t.Fatal(err)
+	}
+	sink.mu.Lock()
+	defer sink.mu.Unlock()
+	if !bytes.Equal(sink.pages[3], want) {
+		t.Fatalf("sink got %x, want the Put contents %x", sink.pages[3][0], want[0])
+	}
+}
+
+func TestInstallSkipsStaleRefreshAfterFlush(t *testing.T) {
+	const pageSize = 32
+	src := &faultySource{pageSize: pageSize}
+	p := NewPool(src, 4, 8)
+	p.SetSink(newConcSink())
+
+	// Same race, but the Put is flushed before the stale install commits:
+	// the frame is clean again, yet still ahead of the staged source
+	// bytes. The dirty-version capture is what catches this variant.
+	stale, ver := beginFault(t, p, 3)
+	want := repeatByte(pageSize, 0xEE)
+	if err := p.Put(3, want); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.FlushDirty(); err != nil {
+		t.Fatal(err)
+	}
+	p.install(3, stale, ver)
+
+	got, err := p.Get(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("stale fault clobbered the flushed frame: got %x, want %x", got[0], want[0])
+	}
+}
+
+func TestInstallStillRefreshesDuplicateFault(t *testing.T) {
+	const pageSize = 32
+	src := &faultySource{pageSize: pageSize}
+	p := NewPool(src, 4, 8)
+
+	// The benign race: two faults of one page, no write in the window.
+	// The loser commits second, counts a hit, and the contents stay the
+	// canonical source bytes.
+	stale, ver := beginFault(t, p, 5)
+	winner := make([]byte, pageSize)
+	if err := p.readPage(5, winner); err != nil {
+		t.Fatal(err)
+	}
+	p.install(5, winner, ver)
+	p.install(5, stale, ver)
+
+	got, err := p.Get(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 5 {
+		t.Fatalf("page 5 contents %x after duplicate fault", got[0])
+	}
+	// Winner's install: one miss. Loser's install and the Get: two hits.
+	hits, misses, _ := p.Stats()
+	if hits != 2 || misses != 1 {
+		t.Errorf("stats = %d/%d, want 2 hits, 1 miss", hits, misses)
+	}
+}
+
+func TestInstallPinnedKeepsConcurrentPutFrame(t *testing.T) {
+	const pageSize = 32
+	src := &faultySource{pageSize: pageSize}
+	p := NewPool(src, 4, 8)
+	sink := newConcSink()
+	p.SetSink(sink)
+
+	// A Pin of page 2 stages its source read; a Put lands in the window.
+	need, ver, err := p.preparePin(2)
+	if err != nil || !need {
+		t.Fatalf("preparePin = %v/%v, want a read needed", need, err)
+	}
+	stale := make([]byte, pageSize)
+	if err := p.readPage(2, stale); err != nil {
+		t.Fatal(err)
+	}
+	want := repeatByte(pageSize, 0xCD)
+	if err := p.Put(2, want); err != nil {
+		t.Fatal(err)
+	}
+	p.installPinned(2, stale, ver)
+
+	got, err := p.Get(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("installPinned clobbered the dirty frame: got %x, want %x", got[0], want[0])
+	}
+	if !p.dirty[2] {
+		t.Error("page 2 no longer dirty after pin install")
+	}
+	if !p.policy.Pinned(2) {
+		t.Error("page 2 not pinned")
+	}
+	if err := p.FlushDirty(); err != nil {
+		t.Fatal(err)
+	}
+	sink.mu.Lock()
+	defer sink.mu.Unlock()
+	if !bytes.Equal(sink.pages[2], want) {
+		t.Fatalf("sink got %x, want the Put contents %x", sink.pages[2][0], want[0])
+	}
+}
+
+func TestInstallPinnedFillsMissingFrame(t *testing.T) {
+	const pageSize = 32
+	src := &faultySource{pageSize: pageSize}
+	p := NewPool(src, 4, 8)
+
+	// No race: the normal pin path still installs the read bytes.
+	need, ver, err := p.preparePin(6)
+	if err != nil || !need {
+		t.Fatalf("preparePin = %v/%v", need, err)
+	}
+	buf := make([]byte, pageSize)
+	if err := p.readPage(6, buf); err != nil {
+		t.Fatal(err)
+	}
+	p.installPinned(6, buf, ver)
+	got, err := p.Get(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 6 {
+		t.Fatalf("pinned page contents %x", got[0])
+	}
+}

@@ -199,11 +199,26 @@ func (p *Pool) readPage(page int, dst []byte) error {
 	return p.src.ReadPage(page, dst)
 }
 
+// faultVersion returns page's dirty version. A wrapper about to fault
+// page in with no lock held captures it (under the state lock, page not
+// resident) and hands it back to install, which uses it to tell a
+// harmless duplicate fault from a stale read racing a concurrent Put.
+func (p *Pool) faultVersion(page int) uint32 { return p.dirtyVer[page] }
+
 // install commits a successful fault: counts the miss (evicting if
-// needed) and copies data into a frame.
-func (p *Pool) install(page int, data []byte) {
+// needed) and copies data into a frame. ver is the page's dirty version
+// as captured by faultVersion when the fault began. If the fault lost a
+// race — the page became resident while the source read was in flight —
+// the frame is refreshed in place only when no Put or MarkDirty landed
+// meanwhile (version unchanged: the resident bytes came from an
+// equivalent source read, so the refresh is a no-op in contents). A
+// frame that is dirty, or clean because the newer contents were already
+// flushed, is ahead of the stale source bytes and keeps them.
+func (p *Pool) install(page int, data []byte, ver uint32) {
 	if p.policy.Access(page) {
-		copy(p.frames[page], data) // lost a fault race: refresh in place
+		if !p.dirty[page] && p.dirtyVer[page] == ver {
+			copy(p.frames[page], data) // lost a duplicate-fault race: refresh in place
+		}
 		return
 	}
 	frame := p.takeFrame()
@@ -223,23 +238,35 @@ func (p *Pool) failedFault(page int, err error) error {
 }
 
 // preparePin pins the page slot and reports whether the caller must read
-// its contents (it was not resident). See Pin for single-step use.
-func (p *Pool) preparePin(page int) (needRead bool, err error) {
+// its contents (it was not resident), plus the page's dirty version for
+// installPinned's race guard. See Pin for single-step use.
+func (p *Pool) preparePin(page int) (needRead bool, ver uint32, err error) {
 	if page < 0 || page >= len(p.frames) {
-		return false, fmt.Errorf("buffer: page %d outside [0,%d)", page, len(p.frames))
+		return false, 0, fmt.Errorf("buffer: page %d outside [0,%d)", page, len(p.frames))
 	}
 	if p.policy.Pinned(page) {
-		return false, nil
+		return false, 0, nil
 	}
 	resident := p.policy.Contains(page)
 	if err := p.policy.Pin(page); err != nil {
-		return false, err
+		return false, 0, err
 	}
-	return !resident, nil
+	return !resident, p.dirtyVer[page], nil
 }
 
-// installPinned stores the contents of a freshly pinned page.
-func (p *Pool) installPinned(page int, data []byte) {
+// installPinned stores the contents of a freshly pinned page. ver is
+// the dirty version preparePin reported. A concurrent Put landing while
+// the pin's source read was in flight already gave the page a frame
+// whose contents are ahead of the source — that frame is kept (never
+// replaced or dropped); only a frame still at the pinned version is
+// refreshed, and a missing frame is filled.
+func (p *Pool) installPinned(page int, data []byte, ver uint32) {
+	if p.frames[page] != nil {
+		if !p.dirty[page] && p.dirtyVer[page] == ver {
+			copy(p.frames[page], data)
+		}
+		return
+	}
 	frame := p.takeFrame()
 	copy(frame, data)
 	p.frames[page] = frame
@@ -431,6 +458,17 @@ func (p *Pool) writeBackVictim() error {
 		return nil
 	}
 	return p.flushPage(v)
+}
+
+// hasDirtyVictim reports whether the next capacity eviction would drop
+// a dirty page — the cheap probe half of dirtyVictim, for a wrapper
+// deciding whether it must enter its write-back path at all.
+func (p *Pool) hasDirtyVictim() bool {
+	if !p.policy.Full() {
+		return false
+	}
+	v, ok := p.policy.Victim()
+	return ok && p.dirty[v]
 }
 
 // dirtyVictim is writeBackVictim's probe half for a locked wrapper:

@@ -53,9 +53,12 @@ var (
 //
 //   - A fault reads the source with no lock held, then commits under
 //     the shard mutex. Concurrent faults of one page issue duplicate
-//     reads; the losing install refreshes the frame in place and counts
-//     a hit (single-threaded runs never take this path, so shards=1
-//     accounting is bit-identical to Pool's).
+//     reads; the losing install counts a hit and refreshes the frame in
+//     place only if the page's dirty version is unchanged — a frame a
+//     concurrent Put dirtied (or dirtied and already flushed) is ahead
+//     of the stale source bytes and keeps its contents. Single-threaded
+//     runs never take this path, so shards=1 accounting is
+//     bit-identical to Pool's.
 //   - A dirty victim is copied out under the shard mutex, written with
 //     no lock held, and committed with its dirty version (wroteBackVer):
 //     if the page was re-dirtied during the write, the flag stays set
@@ -63,6 +66,13 @@ var (
 //     sink state is safe for the same reason Pool's write-backs are:
 //     callers WAL-log batches before dirtying pages, so any write-back
 //     order is redo-covered.
+//   - Write-backs of one shard serialize on a dedicated per-shard
+//     write-back mutex held from copy through sink write to commit (the
+//     shard-local analogue of SyncPool's ioMu). Without it, an eviction
+//     write-back and a concurrent FlushDirty of the same page could
+//     reach the sink in opposite order and persist the older contents
+//     last — a lost update no crash recovery would repair. Hits and
+//     faults that need no write-back never touch this mutex.
 //   - The PR 7 no-steal contract holds per shard: installClean runs the
 //     victim peek and the install under one continuous mutex hold, so a
 //     dirty page can never be the eviction victim.
@@ -83,7 +93,12 @@ type ShardedPool struct {
 // poolShard is one lock stripe: a private Pool over the shard's local
 // page space.
 type poolShard struct {
-	mu   sync.Mutex
+	mu sync.Mutex
+	// wbMu serializes this shard's write-backs end to end — copy under
+	// mu, sink write with only wbMu held, commit — so two write-backs of
+	// one page can never reach the sink out of dirty-version order.
+	// Always acquired before mu, never the other way around.
+	wbMu sync.Mutex
 	pool *Pool
 }
 
@@ -186,20 +201,25 @@ func (s *ShardedPool) Get(page int) ([]byte, error) {
 	sh.mu.Lock()
 	frame, ok, err := sh.pool.TryGet(local)
 	var out []byte
+	var ver uint32
 	if ok {
 		out = make([]byte, len(frame)) //lint:allow hotalloc the returned page copy is Get's ownership contract
 		copy(out, frame)
+	} else if err == nil {
+		ver = sh.pool.faultVersion(local)
 	}
 	sh.mu.Unlock()
 	if ok || err != nil {
 		return out, s.globalize(err, page)
 	}
-	return s.fault(sh, page, local)
+	return s.fault(sh, page, local, ver)
 }
 
 // fault reads page from the source with no lock held and installs it,
-// returning a copy the caller owns.
-func (s *ShardedPool) fault(sh *poolShard, page, local int) ([]byte, error) {
+// returning a copy the caller owns. ver is the page's dirty version at
+// miss time; install refuses to refresh a frame a concurrent Put moved
+// past it.
+func (s *ShardedPool) fault(sh *poolShard, page, local int, ver uint32) ([]byte, error) {
 	buf := s.getBuf()
 	err := sh.pool.readPage(local, buf)
 	if err != nil {
@@ -212,7 +232,7 @@ func (s *ShardedPool) fault(sh *poolShard, page, local int) ([]byte, error) {
 	out := make([]byte, len(buf)) //lint:allow hotalloc the returned page copy is Get's ownership contract
 	copy(out, buf)
 	//lint:allow hotalloc miss-path closure: a fault already pays a source page read, and the hit path allocates nothing
-	err = s.installClean(sh, func() { sh.pool.install(local, buf) })
+	err = s.installClean(sh, func() { sh.pool.install(local, buf, ver) })
 	s.putBuf(buf)
 	if err != nil {
 		return nil, s.globalize(err, page)
@@ -224,29 +244,44 @@ func (s *ShardedPool) fault(sh *poolShard, page, local int) ([]byte, error) {
 // dirty page can be the eviction victim, writing dirty victims back
 // first — the per-shard no-steal protocol. The victim peek and the
 // install happen under one continuous mutex hold, so the dirty set
-// cannot change in between; each write-back runs with no lock held and
-// commits against the victim's dirty version. A write-back failure fails
-// the caller's operation; the victim stays resident and dirty. Under a
-// steady stream of concurrent Puts to one shard the loop may retry, but
-// every iteration writes one page back, so the system as a whole makes
-// progress.
+// cannot change in between; each write-back runs under wbMu only (never
+// the state mutex) and commits against the victim's dirty version. A
+// write-back failure fails the caller's operation; the victim stays
+// resident and dirty. Under a steady stream of concurrent Puts to one
+// shard the loop may retry, but every iteration writes one page back,
+// so the system as a whole makes progress.
 func (s *ShardedPool) installClean(sh *poolShard, install func()) error {
 	buf := s.getBuf()
 	defer s.putBuf(buf)
 	for {
 		sh.mu.Lock()
-		v, ver := sh.pool.dirtyVictimVer(buf)
-		if v < 0 {
+		if !sh.pool.hasDirtyVictim() {
 			install()
 			sh.mu.Unlock()
 			return nil
 		}
+		sh.mu.Unlock()
+		// A dirty victim must be written back first. wbMu serializes the
+		// copy, the sink write, and the commit against every other
+		// write-back of this shard (FlushDirty, other faults), so
+		// same-page sink writes always land in dirty-version order; the
+		// victim is re-probed under it because a concurrent write-back
+		// may have cleaned it meanwhile.
+		sh.wbMu.Lock()
+		sh.mu.Lock()
+		v, ver := sh.pool.dirtyVictimVer(buf)
+		if v < 0 {
+			sh.mu.Unlock()
+			sh.wbMu.Unlock()
+			continue
+		}
 		snk := sh.pool.sinkSnapshot()
 		sh.mu.Unlock()
-		err := sinkWriteTo(snk, v, buf)
+		err := sinkWriteTo(snk, v, buf) //lint:allow lockcheck ordering same-page sink writes is wbMu's purpose; the state mutex is not held
 		sh.mu.Lock()
 		err = sh.pool.wroteBackVer(v, ver, err)
 		sh.mu.Unlock()
+		sh.wbMu.Unlock()
 		if err != nil {
 			return err
 		}
@@ -255,15 +290,18 @@ func (s *ShardedPool) installClean(sh *poolShard, install func()) error {
 
 // Pin makes page permanently resident (reading it if absent). Until the
 // read completes a concurrent Get of the same page faults it redundantly
-// and counts a pinned hit; the contents installed here win.
+// and counts a pinned hit; a clean frame such a fault installs is
+// refreshed here, while a frame a concurrent Put moved ahead of the
+// source keeps its contents.
 func (s *ShardedPool) Pin(page int) error {
 	if page < 0 || int64(page) >= s.numPages.Load() {
 		return s.boundsErr(page)
 	}
 	sh, local := s.locate(page)
 	var need bool
+	var ver uint32
 	var perr error
-	if err := s.installClean(sh, func() { need, perr = sh.pool.preparePin(local) }); err != nil {
+	if err := s.installClean(sh, func() { need, ver, perr = sh.pool.preparePin(local) }); err != nil {
 		return s.globalize(err, page)
 	}
 	if perr != nil || !need {
@@ -279,7 +317,7 @@ func (s *ShardedPool) Pin(page int) error {
 		return s.globalize(err, page)
 	}
 	sh.mu.Lock()
-	sh.pool.installPinned(local, buf)
+	sh.pool.installPinned(local, buf, ver)
 	sh.mu.Unlock()
 	s.putBuf(buf)
 	return nil
@@ -335,10 +373,12 @@ func (s *ShardedPool) MarkDirty(page int) error {
 // FlushDirty writes every dirty page back to the sink in ascending
 // global page order, stopping at the first failure (the failed page and
 // everything after stay dirty). Each page is copied out under its shard
-// mutex and written with no lock held; a page re-dirtied during its
-// write stays dirty. Concurrent mutators may dirty pages the snapshot
-// missed — FlushDirty guarantees only that pages dirty before the call
-// and not re-dirtied during it are clean after.
+// mutex and written under the shard's write-back mutex only, so hits
+// proceed during the flush while same-page write-backs (an eviction
+// racing this flush) stay ordered; a page re-dirtied during its write
+// stays dirty. Concurrent mutators may dirty pages the snapshot missed —
+// FlushDirty guarantees only that pages dirty before the call and not
+// re-dirtied during it are clean after.
 func (s *ShardedPool) FlushDirty() error {
 	var pages []int
 	for i, sh := range s.shards {
@@ -353,17 +393,20 @@ func (s *ShardedPool) FlushDirty() error {
 	defer s.putBuf(buf)
 	for _, page := range pages {
 		sh, local := s.locate(page)
+		sh.wbMu.Lock()
 		sh.mu.Lock()
 		ver, ok := sh.pool.copyDirtyVer(local, buf)
 		snk := sh.pool.sinkSnapshot()
 		sh.mu.Unlock()
 		if !ok {
+			sh.wbMu.Unlock()
 			continue // cleaned by an eviction write-back meanwhile
 		}
-		err := sinkWriteTo(snk, local, buf)
+		err := sinkWriteTo(snk, local, buf) //lint:allow lockcheck ordering same-page sink writes is wbMu's purpose; the state mutex is not held
 		sh.mu.Lock()
 		err = sh.pool.wroteBackVer(local, ver, err)
 		sh.mu.Unlock()
+		sh.wbMu.Unlock()
 		if err != nil {
 			return s.globalize(err, page)
 		}

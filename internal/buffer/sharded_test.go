@@ -2,6 +2,7 @@ package buffer
 
 import (
 	"bytes"
+	"encoding/binary"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -268,69 +269,170 @@ func TestShardedPoolSingleShardMatchesPoolPerPolicy(t *testing.T) {
 	}
 }
 
+// concStore is a combined PageSource/PageSink over one backing store,
+// like a real disk manager: write-backs land where later faults read.
+// Page contents carry a (page, version) stamp — see stampPage — so the
+// stress test can detect a lost update: a stale fault or write-back
+// reverting a page that a committed Put moved forward. (The previous
+// incarnation of this test had writers Put bytes identical to the
+// source pattern, which masked exactly that bug class.)
+type concStore struct {
+	mu       sync.Mutex
+	pageSize int
+	pages    [][]byte
+}
+
+func newConcStore(pageSize, numPages int) *concStore {
+	st := &concStore{pageSize: pageSize, pages: make([][]byte, numPages)}
+	for pg := range st.pages {
+		st.pages[pg] = stampPage(pageSize, pg, 0)
+	}
+	return st
+}
+
+func (c *concStore) PageSize() int { return c.pageSize }
+
+func (c *concStore) ReadPage(page int, dst []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if page < 0 || page >= len(c.pages) {
+		return fmt.Errorf("page %d out of range", page)
+	}
+	copy(dst, c.pages[page])
+	return nil
+}
+
+func (c *concStore) WritePage(page int, data []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if page < 0 || page >= len(c.pages) {
+		return fmt.Errorf("page %d out of range", page)
+	}
+	copy(c.pages[page], data)
+	return nil
+}
+
+func (c *concStore) contents(page int) []byte {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]byte(nil), c.pages[page]...)
+}
+
+// stampPage builds page contents carrying (page, version) in the first
+// eight bytes plus a fill derived from both, so checkStamp can detect
+// torn or mixed frames, not just wrong versions.
+func stampPage(pageSize, page int, ver uint32) []byte {
+	b := make([]byte, pageSize)
+	binary.LittleEndian.PutUint32(b[0:4], uint32(page))
+	binary.LittleEndian.PutUint32(b[4:8], ver)
+	for i := 8; i < pageSize; i++ {
+		b[i] = byte(page) + byte(ver)*31 + byte(i)*7
+	}
+	return b
+}
+
+// checkStamp validates data as a well-formed stamp of page and returns
+// its version.
+func checkStamp(data []byte, page int) (uint32, error) {
+	if got := binary.LittleEndian.Uint32(data[0:4]); got != uint32(page) {
+		return 0, fmt.Errorf("page %d frame stamped for page %d", page, got)
+	}
+	ver := binary.LittleEndian.Uint32(data[4:8])
+	if want := stampPage(len(data), page, ver); !bytes.Equal(data[8:], want[8:]) {
+		return 0, fmt.Errorf("page %d version %d frame torn", page, ver)
+	}
+	return ver, nil
+}
+
 // TestShardedPoolConcurrentStress hammers a sharded pool from many
-// goroutines mixing Get/Put/FlushDirty/Grow with pinned pages present,
-// then verifies contents and accounting. Writers always Put the same
-// bytes a source read produces, so every Get must observe the canonical
-// pattern regardless of interleaving. Run under -race in CI.
+// goroutines mixing Get/Put/Pin/Unpin/MarkDirty/FlushDirty with pinned
+// pages present, over a shared source+sink store with version-stamped
+// contents. Every Get must observe a well-formed version no newer than
+// the page's version counter; after the run quiesces and flushes, every
+// page the writers moved forward must be forward in the store too (a
+// lost update would show as a reverted version), and resident frames
+// must agree with the store. Run under -race in CI.
 func TestShardedPoolConcurrentStress(t *testing.T) {
 	for _, shards := range []int{1, 4} {
 		for _, policy := range []string{"lru", "2q", "clockpro"} {
 			t.Run(fmt.Sprintf("shards=%d/%s", shards, policy), func(t *testing.T) {
 				const pageSize = 64
 				const numPages = 128
-				src := &concSource{pageSize: pageSize, numPages: numPages}
+				store := newConcStore(pageSize, numPages)
 				factory, _ := FactoryFor(policy)
-				p := NewShardedPoolWith(src, 16, numPages, shards, factory)
-				p.SetSink(newConcSink())
+				p := NewShardedPoolWith(store, 16, numPages, shards, factory)
+				p.SetSink(store)
 				for _, pin := range []int{0, 1} {
 					if err := p.Pin(pin); err != nil {
 						t.Fatal(err)
 					}
 				}
-				canonical := func(page int) []byte {
-					return bytes.Repeat([]byte{byte(page)}, pageSize)
-				}
+				var ver [numPages]atomic.Uint32
 				const goroutines = 8
 				const opsPer = 2000
 				var wg sync.WaitGroup
 				errs := make(chan error, goroutines)
 				for g := 0; g < goroutines; g++ {
 					wg.Add(1)
-					go func(seed int64) {
+					// Each goroutine owns one pin page (2+g): pin/unpin pairs
+					// race writers Putting the same page, exercising the
+					// preparePin/installPinned window.
+					go func(seed int64, pinPage int) {
 						defer wg.Done()
 						rng := rand.New(rand.NewSource(seed))
+						pinned := false
+						defer func() {
+							if pinned {
+								p.Unpin(pinPage)
+							}
+						}()
 						for i := 0; i < opsPer; i++ {
 							page := rng.Intn(numPages)
 							switch op := rng.Intn(100); {
-							case op < 80:
+							case op < 72:
 								data, err := p.Get(page)
 								if err != nil {
 									errs <- err
 									return
 								}
-								if !bytes.Equal(data, canonical(page)) {
-									errs <- fmt.Errorf("page %d contents corrupted", page)
-									return
-								}
-							case op < 92:
-								if err := p.Put(page, canonical(page)); err != nil {
+								v, err := checkStamp(data, page)
+								if err != nil {
 									errs <- err
 									return
 								}
-							case op < 96:
+								if bound := ver[page].Load(); v > bound {
+									errs <- fmt.Errorf("page %d read version %d > issued %d", page, v, bound)
+									return
+								}
+							case op < 88:
+								v := ver[page].Add(1)
+								if err := p.Put(page, stampPage(pageSize, page, v)); err != nil {
+									errs <- err
+									return
+								}
+							case op < 93:
 								if err := p.FlushDirty(); err != nil {
 									errs <- err
 									return
 								}
+							case op < 97:
+								if pinned {
+									p.Unpin(pinPage)
+									pinned = false
+								} else if err := p.Pin(pinPage); err != nil {
+									errs <- err
+									return
+								} else {
+									pinned = true
+								}
 							default:
 								// Errors on non-resident pages are expected; a resident
-								// page's frame holds the canonical bytes, so re-queuing
-								// it for write-back is always safe.
+								// page's frame holds a committed stamp, so re-queuing it
+								// for write-back is always safe.
 								_ = p.MarkDirty(page)
 							}
 						}
-					}(int64(g) + 1)
+					}(int64(g)+1, 2+g)
 				}
 				wg.Wait()
 				close(errs)
@@ -342,6 +444,26 @@ func TestShardedPoolConcurrentStress(t *testing.T) {
 				}
 				if p.DirtyPages() != 0 {
 					t.Errorf("DirtyPages = %d after quiesced flush", p.DirtyPages())
+				}
+				for pg := 0; pg < numPages; pg++ {
+					sv, err := checkStamp(store.contents(pg), pg)
+					if err != nil {
+						t.Fatalf("store: %v", err)
+					}
+					if ver[pg].Load() > 0 && sv == 0 {
+						t.Errorf("page %d: committed Puts lost — store reverted to the seed version", pg)
+					}
+					data, err := p.Get(pg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					gv, err := checkStamp(data, pg)
+					if err != nil {
+						t.Fatalf("pool: %v", err)
+					}
+					if gv != sv {
+						t.Errorf("page %d: clean frame at version %d diverges from store version %d", pg, gv, sv)
+					}
 				}
 				hits, misses, _ := p.Stats()
 				if hits+misses == 0 {

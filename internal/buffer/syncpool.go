@@ -90,8 +90,11 @@ func (s *SyncPool) fault(page int) ([]byte, error) {
 	s.mu.Lock()
 	frame, ok, err := s.pool.TryGet(page)
 	var out []byte
+	var ver uint32
 	if ok {
 		out = append([]byte(nil), frame...)
+	} else if err == nil {
+		ver = s.pool.faultVersion(page)
 	}
 	s.mu.Unlock()
 	if ok || err != nil {
@@ -106,7 +109,7 @@ func (s *SyncPool) fault(page int) ([]byte, error) {
 		return nil, err
 	}
 	out = append([]byte(nil), s.readBuf...)
-	if err := s.installClean(func() { s.pool.install(page, s.readBuf) }); err != nil { //lint:allow lockcheck dirty write-back under ioMu is the no-steal protocol
+	if err := s.installClean(func() { s.pool.install(page, s.readBuf, ver) }); err != nil { //lint:allow lockcheck dirty write-back under ioMu is the no-steal protocol
 		return nil, err
 	}
 	return out, nil
@@ -145,8 +148,9 @@ func (s *SyncPool) Pin(page int) error {
 	s.ioMu.Lock()
 	defer s.ioMu.Unlock()
 	var need bool
+	var ver uint32
 	var perr error
-	if err := s.installClean(func() { need, perr = s.pool.preparePin(page) }); err != nil { //lint:allow lockcheck dirty write-back under ioMu is the no-steal protocol
+	if err := s.installClean(func() { need, ver, perr = s.pool.preparePin(page) }); err != nil { //lint:allow lockcheck dirty write-back under ioMu is the no-steal protocol
 		return err
 	}
 	if perr != nil || !need {
@@ -160,7 +164,7 @@ func (s *SyncPool) Pin(page int) error {
 		return err
 	}
 	s.mu.Lock()
-	s.pool.installPinned(page, s.readBuf)
+	s.pool.installPinned(page, s.readBuf, ver)
 	s.mu.Unlock()
 	return nil
 }

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sync"
 	"sync/atomic"
 )
 
@@ -29,9 +30,12 @@ type IOStats struct {
 }
 
 // ioCounters is the managers' internal counter pair. The sharded buffer
-// pool issues ReadPage calls from many goroutines with no lock held
-// (reads of distinct pages are safe on both managers), so the counters
-// must be atomic or the accounting itself would race.
+// pool issues ReadPage calls (and dirty-page WritePage write-backs)
+// from many goroutines with no lock held, so the counters must be
+// atomic or the accounting itself would race. The managers' page state
+// is synchronized separately: MemoryManager guards its page table with
+// an RWMutex, FileManager keeps its header state (page count, dirty
+// flags) in atomics — see the concurrency notes on each type.
 type ioCounters struct {
 	reads, writes atomic.Uint64
 }
@@ -72,8 +76,15 @@ type DiskManager interface {
 // MemoryManager is an in-memory DiskManager: the experiments' default,
 // where "disk" reads are counted but cost nothing. It lets the full test
 // suite exercise the identical code path as the file manager.
+//
+// ReadPage and WritePage are safe for concurrent use — the sharded
+// buffer pool issues both from many goroutines with no lock held. An
+// RWMutex guards the page table: reads share, writes (which may grow
+// the table) exclude, so a growing append can never race a reader's
+// index.
 type MemoryManager struct {
 	pageSize int
+	mu       sync.RWMutex // guards pages, meta, closed
 	pages    [][]byte
 	meta     []byte
 	stats    ioCounters
@@ -93,10 +104,16 @@ func NewMemoryManager(pageSize int) (*MemoryManager, error) {
 func (m *MemoryManager) PageSize() int { return m.pageSize }
 
 // NumPages implements DiskManager.
-func (m *MemoryManager) NumPages() int { return len(m.pages) }
+func (m *MemoryManager) NumPages() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.pages)
+}
 
 // ReadPage implements DiskManager.
 func (m *MemoryManager) ReadPage(page int, dst []byte) error {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	if m.closed {
 		return fmt.Errorf("storage: read on closed manager")
 	}
@@ -114,6 +131,8 @@ func (m *MemoryManager) ReadPage(page int, dst []byte) error {
 
 // WritePage implements DiskManager.
 func (m *MemoryManager) WritePage(page int, data []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if m.closed {
 		return fmt.Errorf("storage: write on closed manager")
 	}
@@ -137,12 +156,16 @@ func (m *MemoryManager) WriteMeta(meta []byte) error {
 	if len(meta) > m.pageSize {
 		return fmt.Errorf("storage: metadata %d bytes > page size %d", len(meta), m.pageSize)
 	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	m.meta = append([]byte(nil), meta...)
 	return nil
 }
 
 // ReadMeta implements DiskManager.
 func (m *MemoryManager) ReadMeta() ([]byte, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	return append([]byte(nil), m.meta...), nil
 }
 
@@ -154,6 +177,8 @@ func (m *MemoryManager) ResetStats() { m.stats.reset() }
 
 // Close implements DiskManager.
 func (m *MemoryManager) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	m.closed = true
 	m.pages = nil
 	return nil
@@ -186,15 +211,25 @@ const (
 // crash can never leave a header advertising pages that were not
 // durably written. (Rewriting the page-sized header on every appended
 // page made SaveTree O(pages) redundant header writes.)
+//
+// ReadPage and WritePage are safe for concurrent use on distinct pages
+// — the sharded buffer pool issues both from many goroutines with no
+// lock held. The page count and the two dirty flags are atomics so a
+// concurrent extension is never lost; Flush and WriteMeta snapshot them
+// in an order that keeps the lazy-header invariant (header never
+// advertises unsynced pages) under concurrent writes. Same-page
+// read/write overlap and concurrent WriteMeta/Close remain the caller's
+// responsibility, which the pool's no-steal write-back protocol
+// satisfies.
 type FileManager struct {
 	f         *os.File
 	pageSize  int
-	numPages  int
+	numPages  atomic.Int64
 	meta      []byte
 	stats     ioCounters
 	metrics   *Metrics
-	hdrDirty  bool // in-memory numPages is ahead of the on-disk header
-	dataDirty bool // page writes since the last sync (ordering guard for WriteMeta)
+	hdrDirty  atomic.Bool // in-memory numPages is ahead of the on-disk header
+	dataDirty atomic.Bool // page writes since the last sync (ordering guard for WriteMeta)
 }
 
 // CreateFile creates (or truncates) a page file at path.
@@ -207,7 +242,7 @@ func CreateFile(path string, pageSize int) (*FileManager, error) {
 		return nil, fmt.Errorf("storage: creating %s: %w", path, err)
 	}
 	fm := &FileManager{f: f, pageSize: pageSize}
-	if err := fm.writeHeader(); err != nil {
+	if err := fm.writeHeader(0); err != nil {
 		_ = f.Close() // the original error is the one worth reporting
 		return nil, err
 	}
@@ -265,8 +300,8 @@ func OpenFile(path string) (*FileManager, error) {
 	fm := &FileManager{
 		f:        f,
 		pageSize: int(pageSize),
-		numPages: int(numPages),
 	}
+	fm.numPages.Store(numPages)
 	if metaLen > 0 {
 		fm.meta = make([]byte, metaLen)
 		if _, err := f.ReadAt(fm.meta, headerFixed); err != nil {
@@ -277,7 +312,11 @@ func OpenFile(path string) (*FileManager, error) {
 	return fm, nil
 }
 
-func (fm *FileManager) writeHeader() error {
+// writeHeader rewrites the header block advertising numPages pages.
+// Callers pass a page count they snapshotted *before* syncing the data,
+// so the header can never get ahead of what a concurrent WritePage has
+// durably on disk.
+func (fm *FileManager) writeHeader(numPages int64) error {
 	if len(fm.meta) > fm.pageSize-headerFixed {
 		return fmt.Errorf("storage: metadata %d bytes > header capacity %d",
 			len(fm.meta), fm.pageSize-headerFixed)
@@ -286,7 +325,7 @@ func (fm *FileManager) writeHeader() error {
 	copy(hdr[0:8], fileMagic)
 	binary.LittleEndian.PutUint32(hdr[8:12], formatVersion)
 	binary.LittleEndian.PutUint32(hdr[12:16], uint32(fm.pageSize))
-	binary.LittleEndian.PutUint32(hdr[16:20], uint32(fm.numPages))
+	binary.LittleEndian.PutUint32(hdr[16:20], uint32(numPages))
 	binary.LittleEndian.PutUint32(hdr[20:24], uint32(len(fm.meta)))
 	copy(hdr[headerFixed:], fm.meta)
 	if _, err := fm.f.WriteAt(hdr, 0); err != nil {
@@ -303,12 +342,12 @@ func (fm *FileManager) pageOffset(page int) int64 {
 func (fm *FileManager) PageSize() int { return fm.pageSize }
 
 // NumPages implements DiskManager.
-func (fm *FileManager) NumPages() int { return fm.numPages }
+func (fm *FileManager) NumPages() int { return int(fm.numPages.Load()) }
 
 // ReadPage implements DiskManager.
 func (fm *FileManager) ReadPage(page int, dst []byte) error {
-	if page < 0 || page >= fm.numPages {
-		return fmt.Errorf("storage: read of unallocated page %d (have %d)", page, fm.numPages)
+	if n := fm.numPages.Load(); page < 0 || int64(page) >= n {
+		return fmt.Errorf("storage: read of unallocated page %d (have %d)", page, n)
 	}
 	if len(dst) < fm.pageSize {
 		return fmt.Errorf("storage: read buffer %d < page size %d", len(dst), fm.pageSize)
@@ -321,7 +360,10 @@ func (fm *FileManager) ReadPage(page int, dst []byte) error {
 	return nil
 }
 
-// WritePage implements DiskManager.
+// WritePage implements DiskManager. The data flag goes up before the
+// page count moves: any extension a Flush observes in the count is then
+// guaranteed to also be visible as dirty data, so it gets synced before
+// the header advertises it.
 func (fm *FileManager) WritePage(page int, data []byte) error {
 	if page < 0 {
 		return fmt.Errorf("storage: write of negative page %d", page)
@@ -334,10 +376,17 @@ func (fm *FileManager) WritePage(page int, data []byte) error {
 	}
 	fm.stats.writes.Add(1)
 	fm.metrics.noteWrite(fm.pageSize)
-	fm.dataDirty = true
-	if page >= fm.numPages {
-		fm.numPages = page + 1
-		fm.hdrDirty = true
+	fm.dataDirty.Store(true)
+	for {
+		n := fm.numPages.Load()
+		if int64(page) < n {
+			break
+		}
+		if fm.numPages.CompareAndSwap(n, int64(page)+1) {
+			fm.hdrDirty.Store(true)
+			break
+		}
+		// Lost the race to another extension; re-check against its count.
 	}
 	return nil
 }
@@ -348,19 +397,31 @@ func (fm *FileManager) WritePage(page int, data []byte) error {
 // header and the page data are current. WriteMeta and Close flush
 // implicitly.
 func (fm *FileManager) Flush() error {
-	if !fm.hdrDirty && !fm.dataDirty {
+	if !fm.hdrDirty.Load() && !fm.dataDirty.Load() {
 		return nil
 	}
+	// Ordering under concurrent WritePage (the pool's write-backs):
+	// consume the header flag before snapshotting the page count, and
+	// clear the data flag before syncing. Any extension the snapshot
+	// includes finished its WriteAt first, so the sync covers it; any
+	// write landing later re-raises the flags and is picked up by the
+	// next flush. The header therefore never advertises unsynced pages.
+	hdr := fm.hdrDirty.Swap(false)
+	numPages := fm.numPages.Load()
+	fm.dataDirty.Store(false)
 	if err := fm.f.Sync(); err != nil {
+		fm.dataDirty.Store(true)
+		if hdr {
+			fm.hdrDirty.Store(true)
+		}
 		return fmt.Errorf("storage: syncing pages before header update: %w", err)
 	}
 	fm.metrics.noteFsync()
-	fm.dataDirty = false
-	if fm.hdrDirty {
-		if err := fm.writeHeader(); err != nil {
+	if hdr {
+		if err := fm.writeHeader(numPages); err != nil {
+			fm.hdrDirty.Store(true)
 			return err
 		}
-		fm.hdrDirty = false
 	}
 	return nil
 }
@@ -375,19 +436,30 @@ func (fm *FileManager) Flush() error {
 func (fm *FileManager) WriteMeta(meta []byte) error {
 	old := fm.meta
 	fm.meta = append([]byte(nil), meta...)
-	if fm.hdrDirty || fm.dataDirty {
+	// Same flag/count ordering as Flush: the data-dirty check runs after
+	// the count snapshot, so any extension the snapshot includes is seen
+	// as dirty data here and synced before the header advertises it.
+	hdr := fm.hdrDirty.Swap(false)
+	numPages := fm.numPages.Load()
+	if hdr || fm.dataDirty.Load() {
+		fm.dataDirty.Store(false)
 		if err := fm.f.Sync(); err != nil {
 			fm.meta = old
+			fm.dataDirty.Store(true)
+			if hdr {
+				fm.hdrDirty.Store(true)
+			}
 			return fmt.Errorf("storage: syncing pages before header update: %w", err)
 		}
 		fm.metrics.noteFsync()
-		fm.dataDirty = false
 	}
-	if err := fm.writeHeader(); err != nil {
+	if err := fm.writeHeader(numPages); err != nil {
 		fm.meta = old
+		if hdr {
+			fm.hdrDirty.Store(true)
+		}
 		return err
 	}
-	fm.hdrDirty = false
 	return nil
 }
 
