@@ -139,6 +139,7 @@ func main() {
 	policy := flag.String("policy", "", "paged-tree replacement policy for system experiments (lru, clock, 2q, clockpro; empty = lru)")
 	shards := flag.Int("shards", 1, "paged-tree pool shards for system experiments (>1 = lock-striped pool)")
 	benchJSON := flag.String("benchjson", "", "write a machine-readable timing summary to this path")
+	monitorFlag := flag.Bool("monitor", false, "enable the online model-residual monitor in paged-system experiments (adds a residual table to ext-system)")
 	metricsPath := flag.String("metrics", "", "write an engine metrics dump to this path (.json/.prom/anything-else=text)")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics and /debug/pprof on this address (keeps the process alive after the run until interrupted)")
 	flag.Parse()
@@ -158,6 +159,7 @@ func main() {
 		SimBatchSize: *batchSize,
 		Policy:       *policy,
 		Shards:       *shards,
+		Monitor:      *monitorFlag,
 	}
 	if *metricsPath != "" || *debugAddr != "" {
 		cfg.Metrics = obs.NewRegistry()

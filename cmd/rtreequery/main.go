@@ -10,7 +10,8 @@
 //	rtreequery -tree tiger.rt -buffer 200 -qx 0.05 -qy 0.05 -n 20000
 //	rtreequery -tree tiger.rt -buffer 500 -pin 2
 //	rtreequery -tree tiger.rt -buffer 200 -metrics          # obs dump + warm-up trace
-//	rtreequery -tree tiger.rt -debug-addr 127.0.0.1:6060    # /metrics + pprof
+//	rtreequery -tree tiger.rt -buffer 200 -monitor          # residual monitor + flight recorder
+//	rtreequery -tree tiger.rt -debug-addr 127.0.0.1:6060    # /metrics + pprof + flight recorder
 package main
 
 import (
@@ -24,10 +25,12 @@ import (
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	"rtreebuf/internal/buffer"
 	"rtreebuf/internal/core"
 	"rtreebuf/internal/geom"
+	"rtreebuf/internal/monitor"
 	"rtreebuf/internal/obs"
 	"rtreebuf/internal/sim"
 	"rtreebuf/internal/stats"
@@ -45,7 +48,8 @@ func main() {
 	pin := flag.Int("pin", 0, "pin the top N tree levels in the buffer")
 	seed := flag.Uint64("seed", 42, "workload seed")
 	metrics := flag.Bool("metrics", false, "collect and print observability metrics, per-level hit rates, and the model-vs-measured warm-up trace")
-	debugAddr := flag.String("debug-addr", "", "serve /metrics and /debug/pprof on this address (keeps the process alive after the report until interrupted)")
+	monitorFlag := flag.Bool("monitor", false, "track the model residual online (windowed drift detector) and keep a flight recorder of the most expensive queries")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/pprof, and /debug/flightrecorder on this address (keeps the process alive after the report until interrupted)")
 	flag.Parse()
 
 	if *treePath == "" {
@@ -54,17 +58,22 @@ func main() {
 		os.Exit(2)
 	}
 
-	// One registry feeds the -metrics dump and the -debug-addr endpoint;
-	// nil (all mirrors disabled, zero overhead) when neither is asked for.
+	// One registry feeds the -metrics dump, the -monitor report, and the
+	// -debug-addr endpoint; nil (all mirrors disabled, zero overhead)
+	// when none is asked for. The flight recorder rides with -monitor.
 	var reg *obs.Registry
-	if *metrics || *debugAddr != "" {
+	if *metrics || *monitorFlag || *debugAddr != "" {
 		reg = obs.NewRegistry()
 	}
+	var fr *obs.FlightRecorder
+	if *monitorFlag {
+		fr = obs.NewFlightRecorder(obs.DefaultFlightRecent, obs.DefaultFlightTop)
+	}
 	if *debugAddr != "" {
-		ds, err := obs.StartDebugServer(*debugAddr, reg)
+		ds, err := obs.StartDebugServerWith(*debugAddr, reg, fr)
 		fatalIf(err)
 		defer ds.Close()
-		fmt.Printf("debug:  serving /metrics and /debug/pprof on http://%s\n", ds.Addr)
+		fmt.Printf("debug:  serving /metrics, /debug/pprof, and /debug/flightrecorder on http://%s\n", ds.Addr)
 	}
 
 	dm, err := storage.OpenFile(*treePath)
@@ -79,6 +88,7 @@ func main() {
 	fmt.Printf("buffer: %d pages (%s, %d shard(s)), pinning %d levels\n", *bufferPages, policyLabel(*policy), *shards, *pin)
 	paged.Pool().SetMetrics(buffer.NewMetrics(reg, policyLabel(*policy)).
 		WithLevels(buffer.LevelsFromCounts(meta.Levels), len(meta.Levels)))
+	paged.SetFlightRecorder(fr)
 	if *pin > 0 {
 		fatalIf(paged.PinLevels(*pin))
 	}
@@ -89,25 +99,37 @@ func main() {
 	qm, err := core.NewUniformQueries(*qx, *qy)
 	fatalIf(err)
 	pred := core.NewPredictor(tree.Levels(), qm)
-	predicted, modelLabel, err := predictFor(pred, policyLabel(*policy), *bufferPages, *pin, *shards)
+	prediction, err := monitor.PredictionFor(pred, policyLabel(*policy), *bufferPages, *pin, *shards)
 	fatalIf(err)
+	predicted, modelLabel := prediction.DiskPerQuery, prediction.Model
+	var mon *monitor.Monitor
+	if *monitorFlag {
+		mon = monitor.New(reg, prediction, monitor.Config{})
+	}
 
 	rng := rand.New(rand.NewPCG(*seed, *seed^0xabcdef))
 	warm := *n / 4
 	dm.ResetStats() // LoadTree read every page; measure only the workload
+	latency := reg.Histogram("query_latency_us")
 	results := 0
 	observedFill := 0 // N̂* of the real pool: query index at which it first filled
 	for i := 0; i < warm+*n; i++ {
 		if i == warm {
 			paged.Pool().ResetStats()
+			mon.Rebase()
 		}
 		cx := *qx + rng.Float64()*(1-*qx)
 		cy := *qy + rng.Float64()*(1-*qy)
+		begin := time.Now()
 		hits, err := paged.SearchWindow(geom.Rect{
 			MinX: cx - *qx, MinY: cy - *qy, MaxX: cx, MaxY: cy,
 		})
 		fatalIf(err)
 		results += len(hits)
+		if i >= warm {
+			latency.Observe(float64(time.Since(begin).Microseconds()))
+			mon.OnQuery()
+		}
 		if observedFill == 0 && paged.Pool().Resident() >= paged.Pool().Capacity() {
 			observedFill = i + 1
 		}
@@ -121,13 +143,21 @@ func main() {
 		hits, misses, evictions, 100*paged.Pool().HitRatio())
 	fmt.Printf("\ndisk accesses per query: measured %.4f, %s %.4f (%+.1f%%)\n",
 		measured, modelLabel, predicted, 100*stats.PercentDiff(measured, predicted))
-	if policyLabel(*policy) == "clockpro" && *pin == 0 {
-		lo, hi := pred.ClockProBounds(*bufferPages)
-		fmt.Printf("clockpro model bracket [A0 optimum, lru model]: [%.4f, %.4f]\n", lo, hi)
+	if prediction.BracketHi > prediction.BracketLo {
+		fmt.Printf("clockpro model bracket [A0 optimum, lru model]: [%.4f, %.4f]\n",
+			prediction.BracketLo, prediction.BracketHi)
 	}
 	fmt.Printf("bufferless EPT (nodes visited per query): %.4f\n", pred.NodesVisited())
+	printLatencyPercentiles(reg)
 
-	if reg != nil {
+	if mon != nil {
+		fmt.Println()
+		fatalIf(mon.WriteText(os.Stdout))
+		fmt.Println()
+		fatalIf(fr.WriteText(os.Stdout, time.Microsecond))
+	}
+
+	if *metrics || *debugAddr != "" {
 		printWarmupComparison(tree.Levels(), pred, *bufferPages, *pin, *qx, *qy, *seed, observedFill)
 		printLevelHitRates(reg, len(meta.Levels))
 		fmt.Println("\nmetrics:")
@@ -256,25 +286,20 @@ func policyLabel(policy string) string {
 	return policy
 }
 
-// predictFor picks the analytic model matching the configured policy and
-// sharding. Pinning analysis exists only for the LRU model, so any -pin
-// run reports it; 2Q gets its renewal model, Clock-Pro is reported
-// against the upper edge of its bracket (the bracket itself is printed
-// separately), and a sharded LRU pool gets the per-shard partition model.
-func predictFor(pred *core.Predictor, policy string, bufferPages, pin, shards int) (float64, string, error) {
-	if pin > 0 {
-		v, err := pred.DiskAccessesPinned(bufferPages, pin)
-		return v, "lru model (pinned)", err
+// printLatencyPercentiles surfaces the measured-query latency histogram
+// as interpolated percentiles. Silent without a registry, or before any
+// query was observed.
+func printLatencyPercentiles(reg *obs.Registry) {
+	if reg == nil {
+		return
 	}
-	switch policy {
-	case "2q":
-		return pred.DiskAccesses2Q(bufferPages), "2q model", nil
-	case "clockpro":
-		_, hi := pred.ClockProBounds(bufferPages)
-		return hi, "clockpro bracket upper edge", nil
+	for _, s := range reg.Snapshot() {
+		if s.Name != "query_latency_us" || s.Count == 0 {
+			continue
+		}
+		p50, p95, p99 := s.Percentiles()
+		fmt.Printf("query latency (µs): p50 %.3g  p95 %.3g  p99 %.3g  (%d queries, log-bucket interpolation)\n",
+			p50, p95, p99, s.Count)
+		return
 	}
-	if shards > 1 {
-		return pred.DiskAccessesSharded(bufferPages, shards), fmt.Sprintf("sharded(%d) lru model", shards), nil
-	}
-	return pred.DiskAccesses(bufferPages), "lru model", nil
 }

@@ -136,15 +136,27 @@ func (p *Pool) Grow(numPages int) {
 // The returned slice aliases the buffer frame: it is valid until the page
 // is evicted and must not be modified.
 func (p *Pool) Get(page int) ([]byte, error) {
+	data, _, err := p.GetTracked(page)
+	return data, err
+}
+
+// GetTracked is Get plus per-access attribution: whether the page was
+// resident and how many dirty victims the miss had to write back.
+func (p *Pool) GetTracked(page int) ([]byte, AccessInfo, error) {
 	if page < 0 || page >= len(p.frames) {
-		return nil, fmt.Errorf("buffer: page %d outside [0,%d)", page, len(p.frames))
+		return nil, AccessInfo{}, fmt.Errorf("buffer: page %d outside [0,%d)", page, len(p.frames))
 	}
 	if p.policy.Contains(page) && p.frames[page] != nil {
 		p.policy.Access(page)
-		return p.frames[page], nil
+		return p.frames[page], AccessInfo{Hit: true}, nil
 	}
-	if err := p.writeBackVictim(); err != nil {
-		return nil, err
+	wrote, err := p.writeBackVictimTracked()
+	info := AccessInfo{}
+	if wrote {
+		info.WriteBacks = 1
+	}
+	if err != nil {
+		return nil, info, err
 	}
 	p.policy.Access(page)
 	frame := p.takeFrame()
@@ -156,10 +168,10 @@ func (p *Pool) Get(page int) ([]byte, error) {
 		p.noteReadFailure()
 		p.policy.Remove(page)
 		p.free = append(p.free, frame)
-		return nil, fmt.Errorf("buffer: reading page %d: %w", page, err)
+		return nil, info, fmt.Errorf("buffer: reading page %d: %w", page, err)
 	}
 	p.frames[page] = frame
-	return frame, nil
+	return frame, info, nil
 }
 
 func (p *Pool) takeFrame() []byte {
@@ -450,14 +462,25 @@ func (p *Pool) wroteBack(page int, err error) error {
 // page. Single-threaded pools call it immediately before any operation
 // that may evict.
 func (p *Pool) writeBackVictim() error {
+	_, err := p.writeBackVictimTracked()
+	return err
+}
+
+// writeBackVictimTracked is writeBackVictim plus whether a dirty victim
+// was actually written back (false when the pool isn't full or the
+// victim is clean).
+func (p *Pool) writeBackVictimTracked() (wrote bool, err error) {
 	if !p.policy.Full() {
-		return nil
+		return false, nil
 	}
 	v, ok := p.policy.Victim()
 	if !ok || !p.dirty[v] {
-		return nil
+		return false, nil
 	}
-	return p.flushPage(v)
+	if err := p.flushPage(v); err != nil {
+		return false, err
+	}
+	return true, nil
 }
 
 // hasDirtyVictim reports whether the next capacity eviction would drop

@@ -19,6 +19,9 @@ import (
 // eviction; ShardedPool returns a copy the caller owns).
 type PagePool interface {
 	Get(page int) ([]byte, error)
+	// GetTracked is Get plus per-access attribution (hit/miss and dirty
+	// write-backs) for the flight recorder; Get discards the same info.
+	GetTracked(page int) ([]byte, AccessInfo, error)
 	Pin(page int) error
 	Unpin(page int)
 	Put(page int, data []byte) error
@@ -194,8 +197,15 @@ func (s *ShardedPool) globalize(err error, page int) error {
 // Get returns a copy of the page contents, faulting it in on a miss.
 // The returned slice is owned by the caller.
 func (s *ShardedPool) Get(page int) ([]byte, error) {
+	data, _, err := s.GetTracked(page)
+	return data, err
+}
+
+// GetTracked is Get plus per-access attribution: whether the page was
+// resident in its shard and how many dirty victims the fault wrote back.
+func (s *ShardedPool) GetTracked(page int) ([]byte, AccessInfo, error) {
 	if page < 0 || int64(page) >= s.numPages.Load() {
-		return nil, s.boundsErr(page)
+		return nil, AccessInfo{}, s.boundsErr(page)
 	}
 	sh, local := s.locate(page)
 	sh.mu.Lock()
@@ -210,7 +220,7 @@ func (s *ShardedPool) Get(page int) ([]byte, error) {
 	}
 	sh.mu.Unlock()
 	if ok || err != nil {
-		return out, s.globalize(err, page)
+		return out, AccessInfo{Hit: ok}, s.globalize(err, page)
 	}
 	return s.fault(sh, page, local, ver)
 }
@@ -219,7 +229,7 @@ func (s *ShardedPool) Get(page int) ([]byte, error) {
 // returning a copy the caller owns. ver is the page's dirty version at
 // miss time; install refuses to refresh a frame a concurrent Put moved
 // past it.
-func (s *ShardedPool) fault(sh *poolShard, page, local int, ver uint32) ([]byte, error) {
+func (s *ShardedPool) fault(sh *poolShard, page, local int, ver uint32) ([]byte, AccessInfo, error) {
 	buf := s.getBuf()
 	err := sh.pool.readPage(local, buf)
 	if err != nil {
@@ -227,17 +237,17 @@ func (s *ShardedPool) fault(sh *poolShard, page, local int, ver uint32) ([]byte,
 		sh.mu.Lock()
 		err = sh.pool.failedFault(local, err)
 		sh.mu.Unlock()
-		return nil, s.globalize(err, page)
+		return nil, AccessInfo{}, s.globalize(err, page)
 	}
 	out := make([]byte, len(buf)) //lint:allow hotalloc the returned page copy is Get's ownership contract
 	copy(out, buf)
 	//lint:allow hotalloc miss-path closure: a fault already pays a source page read, and the hit path allocates nothing
-	err = s.installClean(sh, func() { sh.pool.install(local, buf, ver) })
+	wrote, err := s.installCleanTracked(sh, func() { sh.pool.install(local, buf, ver) })
 	s.putBuf(buf)
 	if err != nil {
-		return nil, s.globalize(err, page)
+		return nil, AccessInfo{WriteBacks: wrote}, s.globalize(err, page)
 	}
-	return out, nil
+	return out, AccessInfo{WriteBacks: wrote}, nil
 }
 
 // installClean runs install (under the shard mutex) in a state where no
@@ -251,6 +261,13 @@ func (s *ShardedPool) fault(sh *poolShard, page, local int, ver uint32) ([]byte,
 // shard the loop may retry, but every iteration writes one page back,
 // so the system as a whole makes progress.
 func (s *ShardedPool) installClean(sh *poolShard, install func()) error {
+	_, err := s.installCleanTracked(sh, install)
+	return err
+}
+
+// installCleanTracked is installClean plus how many dirty victims were
+// successfully written back before the install committed.
+func (s *ShardedPool) installCleanTracked(sh *poolShard, install func()) (wrote int, err error) {
 	buf := s.getBuf()
 	defer s.putBuf(buf)
 	for {
@@ -258,7 +275,7 @@ func (s *ShardedPool) installClean(sh *poolShard, install func()) error {
 		if !sh.pool.hasDirtyVictim() {
 			install()
 			sh.mu.Unlock()
-			return nil
+			return wrote, nil
 		}
 		sh.mu.Unlock()
 		// A dirty victim must be written back first. wbMu serializes the
@@ -277,14 +294,15 @@ func (s *ShardedPool) installClean(sh *poolShard, install func()) error {
 		}
 		snk := sh.pool.sinkSnapshot()
 		sh.mu.Unlock()
-		err := sinkWriteTo(snk, v, buf) //lint:allow lockcheck ordering same-page sink writes is wbMu's purpose; the state mutex is not held
+		werr := sinkWriteTo(snk, v, buf) //lint:allow lockcheck ordering same-page sink writes is wbMu's purpose; the state mutex is not held
 		sh.mu.Lock()
-		err = sh.pool.wroteBackVer(v, ver, err)
+		werr = sh.pool.wroteBackVer(v, ver, werr)
 		sh.mu.Unlock()
 		sh.wbMu.Unlock()
-		if err != nil {
-			return err
+		if werr != nil {
+			return wrote, werr
 		}
+		wrote++
 	}
 }
 

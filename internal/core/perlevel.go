@@ -1,0 +1,150 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Per-level decompositions of the policy models. The monitor compares
+// live per-level hit counters against the model, so each total
+// prediction (DiskAccesses, DiskAccesses2Q, ...) needs a per-level
+// split that sums back to it exactly. Every function here reuses the
+// corresponding total model's characteristic quantity (N*, the 2Q
+// windows, the per-shard fill points) and only changes how the per-page
+// terms are accumulated, so the "sums equal totals" property holds by
+// construction — and the tests pin it.
+
+// levelOf maps a flat node index (level-major, root first — the order
+// of p.flat) to its level.
+func (p *Predictor) levelOf(flat int) int {
+	for lvl, probs := range p.probs {
+		if flat < len(probs) {
+			return lvl
+		}
+		flat -= len(probs)
+	}
+	return len(p.probs) - 1
+}
+
+// NodesVisitedPerLevel splits EPT (NodesVisited) by tree level, root
+// first.
+func (p *Predictor) NodesVisitedPerLevel() []float64 {
+	out := make([]float64, len(p.probs))
+	for lvl, probs := range p.probs {
+		for _, a := range probs {
+			out[lvl] += a
+		}
+	}
+	return out
+}
+
+// DiskAccessesPerLevel splits the LRU EDT (DiskAccesses) by tree level:
+// all levels share the buffer's single fill point N*, so level i
+// contributes sum_j A_ij (1-A_ij)^N*. When the buffer holds every
+// reachable node the split is all zeros, matching the zero total.
+func (p *Predictor) DiskAccessesPerLevel(bufferSize int) []float64 {
+	out := make([]float64, len(p.probs))
+	nstar := WarmupQueries(p.flat, bufferSize)
+	if math.IsInf(nstar, 1) {
+		return out
+	}
+	for lvl, probs := range p.probs {
+		for _, a := range probs {
+			out[lvl] += a * pow1m(a, nstar)
+		}
+	}
+	return out
+}
+
+// DiskAccessesPinnedPerLevel splits DiskAccessesPinned by level: the
+// pinned top levels contribute zero (they never fault at steady state)
+// and the remaining levels share the fill point of the residual model
+// over the remaining B - P pages.
+func (p *Predictor) DiskAccessesPinnedPerLevel(bufferSize, pinLevels int) ([]float64, error) {
+	if pinLevels < 0 || pinLevels > len(p.levels) {
+		return nil, fmt.Errorf("core: pinLevels %d outside [0,%d]", pinLevels, len(p.levels))
+	}
+	pinned := p.PinnedPages(pinLevels)
+	if pinned > bufferSize {
+		return nil, fmt.Errorf("core: pinning %d levels needs %d pages > buffer %d",
+			pinLevels, pinned, bufferSize)
+	}
+	var rest []float64
+	for i := pinLevels; i < len(p.probs); i++ {
+		rest = append(rest, p.probs[i]...)
+	}
+	out := make([]float64, len(p.probs))
+	nstar := WarmupQueries(rest, bufferSize-pinned)
+	if math.IsInf(nstar, 1) {
+		return out, nil
+	}
+	for lvl := pinLevels; lvl < len(p.probs); lvl++ {
+		for _, a := range p.probs[lvl] {
+			out[lvl] += a * pow1m(a, nstar)
+		}
+	}
+	return out, nil
+}
+
+// DiskAccesses2QPerLevel splits the 2Q renewal model by level: the
+// three characteristic windows are solved once over the whole tree
+// (they are global queue properties), then each page's per-query miss
+// rate is accumulated into its level. Degenerate cases mirror
+// DiskAccesses2Q: a non-positive buffer splits the bufferless EPT, a
+// buffer holding every reachable page splits zero.
+func (p *Predictor) DiskAccesses2QPerLevel(bufferSize int) []float64 {
+	if bufferSize < 1 {
+		return p.NodesVisitedPerLevel()
+	}
+	out := make([]float64, len(p.probs))
+	if reachable(p.flat) <= bufferSize {
+		return out
+	}
+	kin := TwoQDefaultKin(bufferSize)
+	kout := TwoQDefaultKout(bufferSize)
+	if kin > bufferSize {
+		kin = bufferSize
+	}
+	w := solveTwoQWindows(p.flat, float64(kin), float64(kout), float64(bufferSize-kin))
+	for lvl, probs := range p.probs {
+		for _, a := range probs {
+			if a <= 0 {
+				continue
+			}
+			_, _, _, miss := twoQPage(a, w)
+			out[lvl] += miss
+		}
+	}
+	return out
+}
+
+// DiskAccessesShardedPerLevel splits the sharded model by level: each
+// shard computes its own fill point over its modulo slice of the pages,
+// and every page's contribution lands in the level the page belongs to
+// (page IDs are level-major, so the slice interleaves levels).
+func (p *Predictor) DiskAccessesShardedPerLevel(bufferSize, shards int) []float64 {
+	if shards > bufferSize {
+		shards = bufferSize // mirrors buffer.NewShardedPool's clamp
+	}
+	if shards <= 1 {
+		return p.DiskAccessesPerLevel(bufferSize)
+	}
+	out := make([]float64, len(p.probs))
+	//lint:allow hotalloc per-shard scratch; model evaluation is setup-time, not per-query
+	shard := make([]float64, 0, (len(p.flat)+shards-1)/shards)
+	for s := 0; s < shards; s++ {
+		shard = shard[:0]
+		for idx := s; idx < len(p.flat); idx += shards {
+			shard = append(shard, p.flat[idx])
+		}
+		nstar := WarmupQueries(shard, shardedCapacity(bufferSize, shards, s))
+		if math.IsInf(nstar, 1) {
+			continue
+		}
+		for idx := s; idx < len(p.flat); idx += shards {
+			a := p.flat[idx]
+			out[p.levelOf(idx)] += a * pow1m(a, nstar)
+		}
+	}
+	return out
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// sumf is the per-level split folded back into a total.
+func sumf(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// TestPerLevelSplitsSumToTotals is the defining property of every
+// per-level decomposition: summing the split reproduces the matching
+// total prediction exactly (same characteristic quantities, different
+// accumulation order — so agreement to float tolerance, not modeling
+// tolerance).
+func TestPerLevelSplitsSumToTotals(t *testing.T) {
+	p := pointPredictor(t)
+	for _, b := range []int{0, 1, 5, 17, 40, 100, 280} {
+		if got, want := sumf(p.NodesVisitedPerLevel()), p.NodesVisited(); !almost(got, want) {
+			t.Errorf("EPT split sums to %g, want %g", got, want)
+		}
+		if got, want := sumf(p.DiskAccessesPerLevel(b)), p.DiskAccesses(b); !almost(got, want) {
+			t.Errorf("B=%d: LRU split sums to %g, want %g", b, got, want)
+		}
+		if got, want := sumf(p.DiskAccesses2QPerLevel(b)), p.DiskAccesses2Q(b); !almost(got, want) {
+			t.Errorf("B=%d: 2Q split sums to %g, want %g", b, got, want)
+		}
+		for _, shards := range []int{1, 2, 4, 7} {
+			got := sumf(p.DiskAccessesShardedPerLevel(b, shards))
+			want := p.DiskAccessesSharded(b, shards)
+			if !almost(got, want) {
+				t.Errorf("B=%d shards=%d: sharded split sums to %g, want %g", b, shards, got, want)
+			}
+		}
+	}
+	for _, b := range []int{17, 40, 280} {
+		for pin := 0; pin <= p.MaxPinnableLevels(b); pin++ {
+			split, err := p.DiskAccessesPinnedPerLevel(b, pin)
+			if err != nil {
+				t.Fatalf("B=%d pin=%d: %v", b, pin, err)
+			}
+			want, err := p.DiskAccessesPinned(b, pin)
+			if err != nil {
+				t.Fatalf("B=%d pin=%d: %v", b, pin, err)
+			}
+			if got := sumf(split); !almost(got, want) {
+				t.Errorf("B=%d pin=%d: pinned split sums to %g, want %g", b, pin, got, want)
+			}
+		}
+	}
+}
+
+func TestPerLevelShapes(t *testing.T) {
+	p := pointPredictor(t)
+	for _, split := range [][]float64{
+		p.NodesVisitedPerLevel(),
+		p.DiskAccessesPerLevel(40),
+		p.DiskAccesses2QPerLevel(40),
+		p.DiskAccessesShardedPerLevel(40, 4),
+	} {
+		if len(split) != p.LevelCount() {
+			t.Fatalf("split has %d entries, want %d levels", len(split), p.LevelCount())
+		}
+		for lvl, v := range split {
+			if v < 0 || math.IsNaN(v) {
+				t.Errorf("level %d: negative or NaN contribution %g", lvl, v)
+			}
+		}
+	}
+}
+
+// TestPerLevelPinnedZeroesPinnedLevels: pinned levels never fault, so
+// their split entries are exactly zero while deeper levels still do.
+func TestPerLevelPinnedZeroesPinnedLevels(t *testing.T) {
+	p := pointPredictor(t)
+	split, err := p.DiskAccessesPinnedPerLevel(40, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if split[0] != 0 || split[1] != 0 {
+		t.Errorf("pinned levels contribute %g, %g; want 0, 0", split[0], split[1])
+	}
+	if split[2] <= 0 {
+		t.Errorf("unpinned leaf level contributes %g, want > 0", split[2])
+	}
+	if _, err := p.DiskAccessesPinnedPerLevel(2, 2); err == nil {
+		t.Error("infeasible pinning accepted")
+	}
+	if _, err := p.DiskAccessesPinnedPerLevel(40, -1); err == nil {
+		t.Error("negative pinLevels accepted")
+	}
+}
+
+// TestPerLevelBigBufferAllZero: when the buffer holds every reachable
+// node the total is zero and so must every level's contribution be.
+func TestPerLevelBigBufferAllZero(t *testing.T) {
+	p := pointPredictor(t)
+	big := p.NodeCount() + 10
+	for name, split := range map[string][]float64{
+		"lru":     p.DiskAccessesPerLevel(big),
+		"2q":      p.DiskAccesses2QPerLevel(big),
+		"sharded": p.DiskAccessesShardedPerLevel(big, 4),
+	} {
+		for lvl, v := range split {
+			if v != 0 {
+				t.Errorf("%s level %d = %g with an all-holding buffer, want 0", name, lvl, v)
+			}
+		}
+	}
+}
+
+// TestPerLevelRootAbsorbedFirst: the root is the hottest page, so with a
+// modest buffer its level contributes (numerically) nothing while the
+// leaf level dominates — the shape the monitor relies on when it
+// attributes residuals per level.
+func TestPerLevelRootAbsorbedFirst(t *testing.T) {
+	p := pointPredictor(t)
+	split := p.DiskAccessesPerLevel(40)
+	if split[0] > 1e-9 {
+		t.Errorf("root level EDT = %g, want ~0 (root always resident)", split[0])
+	}
+	if split[2] < split[1] {
+		t.Errorf("leaf level %g < mid level %g, want leaves to dominate", split[2], split[1])
+	}
+}

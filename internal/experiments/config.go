@@ -37,6 +37,12 @@ type Config struct {
 	// wall time and build-cache hit/miss counts. Reports stay byte-
 	// identical with or without it.
 	Metrics *obs.Registry
+	// Monitor enables the online model-residual monitor in experiments
+	// that drive a real paged tree (ext-system): each buffer size gets a
+	// windowed drift detector comparing live pool counters against the
+	// model, reported as an extra table. The default tables stay
+	// byte-identical whether or not it is set.
+	Monitor bool
 
 	// cache deduplicates dataset generation and tree packing across
 	// experiments; set by RunAll, nil (build fresh) for direct Run calls.

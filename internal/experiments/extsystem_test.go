@@ -1,0 +1,49 @@
+package experiments
+
+import "testing"
+
+// TestExtSystemMonitorTable checks the Monitor opt-in: the default
+// tables stay byte-identical, and the extra residual table reports one
+// deterministic row per buffer size with five completed windows.
+func TestExtSystemMonitorTable(t *testing.T) {
+	plain, err := Run("ext-system", quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := quickCfg()
+	cfg.Monitor = true
+	monitored, err := Run("ext-system", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(monitored.Tables) != len(plain.Tables)+1 {
+		t.Fatalf("monitored run has %d tables, want %d", len(monitored.Tables), len(plain.Tables)+1)
+	}
+	if got, want := monitored.Tables[0].Text(), plain.Tables[0].Text(); got != want {
+		t.Errorf("Monitor changed the default table:\n%s\nvs\n%s", got, want)
+	}
+
+	tbl := monitored.Tables[1]
+	if tbl.Name != "ext-system-monitor" {
+		t.Fatalf("second table is %q", tbl.Name)
+	}
+	if len(tbl.Rows) != len(plain.Tables[0].Rows) {
+		t.Fatalf("monitor table has %d rows, want one per buffer size (%d)",
+			len(tbl.Rows), len(plain.Tables[0].Rows))
+	}
+	for _, row := range tbl.Rows {
+		if row[1] != "5" {
+			t.Errorf("buffer %s completed %s windows, want 5", row[0], row[1])
+		}
+	}
+
+	// Determinism: the residual table reproduces bit for bit.
+	again, err := Run("ext-system", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Tables[1].Text() != tbl.Text() {
+		t.Errorf("monitor table not deterministic:\n%s\nvs\n%s", again.Tables[1].Text(), tbl.Text())
+	}
+}

@@ -1,0 +1,342 @@
+package monitor
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+
+	"rtreebuf/internal/core"
+	"rtreebuf/internal/geom"
+	"rtreebuf/internal/obs"
+)
+
+// testPredictor builds a 3-level point-query predictor over an exact
+// tiling (root, 4x4 mid, 16x16 leaves) — EPT is exactly 3.
+func testPredictor(t *testing.T) *core.Predictor {
+	t.Helper()
+	tile := func(n int) []geom.Rect {
+		out := make([]geom.Rect, 0, n*n)
+		for y := 0; y < n; y++ {
+			for x := 0; x < n; x++ {
+				out = append(out, geom.Rect{
+					MinX: float64(x) / float64(n), MinY: float64(y) / float64(n),
+					MaxX: float64(x+1) / float64(n), MaxY: float64(y+1) / float64(n)})
+			}
+		}
+		return out
+	}
+	qm, err := core.NewUniformQueries(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return core.NewPredictor([][]geom.Rect{{geom.UnitSquare}, tile(4), tile(16)}, qm)
+}
+
+func TestPredictionForDispatch(t *testing.T) {
+	pred := testPredictor(t)
+	const b = 40
+	cases := []struct {
+		policy      string
+		pin, shards int
+		wantModel   string
+		wantEDT     float64
+	}{
+		{"", 0, 1, "lru model", pred.DiskAccesses(b)},
+		{"lru", 0, 1, "lru model", pred.DiskAccesses(b)},
+		{"clock", 0, 1, "lru model", pred.DiskAccesses(b)},
+		{"2q", 0, 1, "2q renewal model", pred.DiskAccesses2Q(b)},
+		{"lru", 0, 4, "sharded(4) lru model", pred.DiskAccessesSharded(b, 4)},
+	}
+	for _, c := range cases {
+		p, err := PredictionFor(pred, c.policy, b, c.pin, c.shards)
+		if err != nil {
+			t.Fatalf("%q: %v", c.policy, err)
+		}
+		if p.Model != c.wantModel {
+			t.Errorf("%q: model %q, want %q", c.policy, p.Model, c.wantModel)
+		}
+		if math.Abs(p.DiskPerQuery-c.wantEDT) > 1e-12 {
+			t.Errorf("%q: EDT %g, want %g", c.policy, p.DiskPerQuery, c.wantEDT)
+		}
+		if len(p.LevelDisk) != pred.LevelCount() || len(p.LevelNodes) != pred.LevelCount() {
+			t.Errorf("%q: per-level splits have %d/%d entries, want %d",
+				c.policy, len(p.LevelDisk), len(p.LevelNodes), pred.LevelCount())
+		}
+		var sum float64
+		for _, v := range p.LevelDisk {
+			sum += v
+		}
+		if c.policy != "clockpro" && math.Abs(sum-p.DiskPerQuery) > 1e-9 {
+			t.Errorf("%q: level split sums to %g, want %g", c.policy, sum, p.DiskPerQuery)
+		}
+	}
+
+	// Clock-Pro: monitored against the bracket's upper edge.
+	p, err := PredictionFor(pred, "clockpro", b, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := pred.ClockProBounds(b)
+	if p.BracketLo != lo || p.BracketHi != hi || p.DiskPerQuery != hi {
+		t.Errorf("clockpro bracket = [%g,%g] edt=%g, want [%g,%g] and hi", p.BracketLo, p.BracketHi, p.DiskPerQuery, lo, hi)
+	}
+
+	// Pinning wins over the policy dispatch and propagates errors.
+	pp, err := PredictionFor(pred, "lru", b, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := pred.DiskAccessesPinned(b, 1)
+	if pp.Model != "lru model (pinned)" || math.Abs(pp.DiskPerQuery-want) > 1e-12 {
+		t.Errorf("pinned prediction = %+v", pp)
+	}
+	if _, err := PredictionFor(pred, "lru", 2, 2, 1); err == nil {
+		t.Error("infeasible pinning accepted")
+	}
+	// Default policy label.
+	if p, _ := PredictionFor(pred, "", b, 0, 1); p.Policy != "lru" {
+		t.Errorf("empty policy labeled %q, want lru", p.Policy)
+	}
+}
+
+// driveWindow simulates the buffer layer: bump the counters the monitor
+// watches as if `misses` of the window's queries missed, split across
+// levels by share, then tick the monitor through one window of queries.
+func driveWindow(reg *obs.Registry, m *Monitor, window int, misses uint64, levelMisses []uint64) {
+	pol := obs.L("policy", "lru")
+	reg.Counter("buffer_misses_total", pol).Add(misses)
+	reg.Counter("buffer_hits_total", pol).Add(uint64(window)*3 - misses)
+	for lvl, lm := range levelMisses {
+		reg.Counter("buffer_level_misses_total", pol, obs.L("level", levelLabel(lvl))).Add(lm)
+	}
+	for i := 0; i < window; i++ {
+		m.OnQuery()
+	}
+}
+
+func levelLabel(lvl int) string { return string(rune('0' + lvl)) }
+
+func newTestMonitor(t *testing.T, reg *obs.Registry, window int) *Monitor {
+	t.Helper()
+	pred := Prediction{
+		Policy:       "lru",
+		Model:        "lru model",
+		BufferSize:   40,
+		DiskPerQuery: 1.0,
+		LevelDisk:    []float64{0, 0.2, 0.8},
+	}
+	m := New(reg, pred, Config{Window: window})
+	if m == nil {
+		t.Fatal("New returned nil for a non-nil registry")
+	}
+	m.Rebase()
+	return m
+}
+
+func TestMonitorResidualAndLevels(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := newTestMonitor(t, reg, 10)
+
+	// Window exactly on model: 10 misses over 10 queries = 1.0/query.
+	driveWindow(reg, m, 10, 10, []uint64{0, 2, 8})
+	s := m.Status()
+	if s.Windows != 1 {
+		t.Fatalf("windows = %d, want 1", s.Windows)
+	}
+	if s.LastObservedDisk != 1.0 || s.LastResidual != 0 {
+		t.Errorf("on-model window: observed=%g residual=%g, want 1.0 and 0", s.LastObservedDisk, s.LastResidual)
+	}
+	for lvl, lr := range s.LevelResiduals {
+		if lr != 0 {
+			t.Errorf("on-model level %d residual = %g, want 0", lvl, lr)
+		}
+	}
+	if s.Alarms != 0 {
+		t.Errorf("on-model window alarmed")
+	}
+
+	// Window 50%% over model: residual = (1.5-1.0)/1.0 = +0.5, leaf level
+	// carries all the excess: (1.3-0.8)/0.8 = +0.625.
+	driveWindow(reg, m, 10, 15, []uint64{0, 2, 13})
+	s = m.Status()
+	if math.Abs(s.LastResidual-0.5) > 1e-12 {
+		t.Errorf("over-model residual = %g, want 0.5", s.LastResidual)
+	}
+	if math.Abs(s.LevelResiduals[2]-0.625) > 1e-12 {
+		t.Errorf("leaf residual = %g, want 0.625", s.LevelResiduals[2])
+	}
+	if s.LevelResiduals[1] != 0 {
+		t.Errorf("mid residual = %g, want 0", s.LevelResiduals[1])
+	}
+	if s.MaxAbsResidual != 0.5 || math.Abs(s.MeanResidual-0.25) > 1e-12 {
+		t.Errorf("max=%g mean=%g, want 0.5 and 0.25", s.MaxAbsResidual, s.MeanResidual)
+	}
+	// The residual gauges mirror into the registry.
+	if got := reg.Gauge("model_residual", obs.L("policy", "lru"), obs.L("level", "all")).Value(); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("model_residual gauge = %g, want 0.5", got)
+	}
+}
+
+func TestMonitorCUSUMAlarmAndReset(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := newTestMonitor(t, reg, 10)
+
+	// Sustained +1.0 residual: pos goes 0.75 after window 1, 1.5 after
+	// window 2 — over the h=1.0 threshold, one alarm, statistic reset.
+	driveWindow(reg, m, 10, 20, nil)
+	if s := m.Status(); s.Alarms != 0 || math.Abs(s.CUSUMPos-0.75) > 1e-12 {
+		t.Fatalf("after window 1: %+v", s)
+	}
+	driveWindow(reg, m, 10, 20, nil)
+	s := m.Status()
+	if s.Alarms != 1 {
+		t.Fatalf("after window 2: alarms = %d, want 1", s.Alarms)
+	}
+	if s.CUSUMPos != 0 || s.CUSUMNeg != 0 {
+		t.Errorf("statistics not reset after alarm: pos=%g neg=%g", s.CUSUMPos, s.CUSUMNeg)
+	}
+	if got := reg.Counter("drift_alarm_total", obs.L("policy", "lru")).Value(); got != 1 {
+		t.Errorf("drift_alarm_total = %d, want 1", got)
+	}
+
+	// The negative side alarms too: observed 0 vs predicted 1.
+	driveWindow(reg, m, 10, 0, nil)
+	driveWindow(reg, m, 10, 0, nil)
+	if s := m.Status(); s.Alarms != 2 {
+		t.Errorf("negative drift: alarms = %d, want 2", s.Alarms)
+	}
+
+	// Rebase clears everything.
+	m.Rebase()
+	s = m.Status()
+	if s.Windows != 0 || s.Alarms != 0 || s.EWMA != 0 || s.CUSUMPos != 0 || s.Queries != 0 {
+		t.Errorf("post-rebase status = %+v, want zeroed", s)
+	}
+}
+
+func TestMonitorStationaryStaysSilent(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := newTestMonitor(t, reg, 10)
+	// 20 windows with small ±10% wobble around the model: inside the
+	// CUSUM slack, so never an alarm.
+	for i := 0; i < 20; i++ {
+		misses := uint64(10)
+		if i%2 == 0 {
+			misses = 11
+		} else {
+			misses = 9
+		}
+		driveWindow(reg, m, 10, misses, nil)
+	}
+	s := m.Status()
+	if s.Alarms != 0 {
+		t.Errorf("stationary run alarmed %d times", s.Alarms)
+	}
+	if s.Windows != 20 {
+		t.Errorf("windows = %d, want 20", s.Windows)
+	}
+	if math.Abs(s.MeanResidual) > 0.05 {
+		t.Errorf("stationary mean residual = %g, want ~0", s.MeanResidual)
+	}
+}
+
+func TestMonitorEWMAConverges(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := newTestMonitor(t, reg, 10)
+	driveWindow(reg, m, 10, 15, nil) // r = 0.5: EWMA primes to it
+	if s := m.Status(); math.Abs(s.EWMA-0.5) > 1e-12 {
+		t.Fatalf("EWMA primed to %g, want 0.5", s.EWMA)
+	}
+	driveWindow(reg, m, 10, 10, nil) // r = 0: EWMA = 0.2*0 + 0.8*0.5
+	if s := m.Status(); math.Abs(s.EWMA-0.4) > 1e-12 {
+		t.Errorf("EWMA = %g, want 0.4", s.EWMA)
+	}
+}
+
+func TestMonitorWriteText(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := newTestMonitor(t, reg, 10)
+	var empty strings.Builder
+	if err := m.WriteText(&empty); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(empty.String(), "no completed windows") {
+		t.Errorf("pre-window report:\n%s", empty.String())
+	}
+	driveWindow(reg, m, 10, 15, []uint64{0, 2, 13})
+	var b strings.Builder
+	if err := m.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"model monitor: lru model", "policy=lru buffer=40",
+		"predicted disk/query: 1.0000", "observed disk/query (last window): 1.5000",
+		"residual: last +0.500", "drift alarms: 0", "level 2 residual: +0.625",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+
+	var nilB strings.Builder
+	var nilM *Monitor
+	if err := nilM.WriteText(&nilB); err != nil || nilB.Len() != 0 {
+		t.Errorf("nil monitor wrote %q, err %v", nilB.String(), err)
+	}
+}
+
+// TestMonitorDisabledZeroAlloc is the disabled-path contract CI guards:
+// a nil monitor's per-query hooks must be allocation-free.
+func TestMonitorDisabledZeroAlloc(t *testing.T) {
+	var m *Monitor
+	if allocs := testing.AllocsPerRun(1000, func() {
+		m.OnQuery()
+		m.Rebase()
+		_ = m.Status()
+	}); allocs != 0 {
+		t.Errorf("disabled monitor allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestMonitorConcurrency drives OnQuery from many goroutines with a
+// concurrent Status reader; run under -race this is the monitor's race
+// test.
+func TestMonitorConcurrency(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := newTestMonitor(t, reg, 100)
+	misses := reg.Counter("buffer_misses_total", obs.L("policy", "lru"))
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = m.Status()
+			}
+		}
+	}()
+	var qwg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		qwg.Add(1)
+		go func() {
+			defer qwg.Done()
+			for i := 0; i < 5000; i++ {
+				misses.Inc()
+				m.OnQuery()
+			}
+		}()
+	}
+	qwg.Wait()
+	close(stop)
+	wg.Wait()
+	s := m.Status()
+	if s.Windows != 8*5000/100 {
+		t.Errorf("windows = %d, want %d", s.Windows, 8*5000/100)
+	}
+}

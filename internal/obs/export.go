@@ -27,7 +27,8 @@ func fmtFloat(v float64) string {
 }
 
 // WriteText renders the snapshot as an aligned two-column table
-// (metric, value); histograms additionally list count, sum, and mean.
+// (metric, value); histograms additionally list count, sum, mean, and
+// interpolated p50/p95/p99 estimates.
 func WriteText(w io.Writer, r *Registry) error {
 	samples := r.Snapshot()
 	if len(samples) == 0 {
@@ -48,7 +49,9 @@ func WriteText(w io.Writer, r *Registry) error {
 			if s.Count > 0 {
 				mean = s.Sum / float64(s.Count)
 			}
-			val = fmt.Sprintf("count=%d sum=%s mean=%s", s.Count, fmtFloat(s.Sum), fmtFloat(mean))
+			p50, p95, p99 := s.Percentiles()
+			val = fmt.Sprintf("count=%d sum=%s mean=%s p50=%.3g p95=%.3g p99=%.3g",
+				s.Count, fmtFloat(s.Sum), fmtFloat(mean), p50, p95, p99)
 		default:
 			val = fmtFloat(s.Value)
 		}

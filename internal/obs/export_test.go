@@ -29,7 +29,7 @@ func TestWriteTextGolden(t *testing.T) {
 	}
 	want := `buffer_hits_total{level="0",policy="lru"}  42
 buffer_hits_total{level="1",policy="lru"}  7
-query_nodes                                count=4 sum=7.5 mean=1.875
+query_nodes                                count=4 sum=7.5 mean=1.875 p50=2 p95=3.73 p99=3.94
 sim_fill_query                             1234
 `
 	if b.String() != want {
@@ -131,6 +131,63 @@ sim_fill_query 1234
 `
 	if b.String() != want {
 		t.Errorf("prometheus export:\n%s\nwant:\n%s", b.String(), want)
+	}
+}
+
+// TestPromEscapeHostileValues pins the exact escaping of every character
+// class the text-exposition 0.0.4 spec requires in label values —
+// backslash, double quote, and newline — including combinations where a
+// wrong replacement order would double-escape.
+func TestPromEscapeHostileValues(t *testing.T) {
+	cases := []struct {
+		in, want string
+	}{
+		{`plain`, `plain`},
+		{"line1\nline2", `line1\nline2`},
+		{`say "hi"`, `say \"hi\"`},
+		{`back\slash`, `back\\slash`},
+		{`trailing\`, `trailing\\`},
+		// A literal backslash-n must not collapse into an escaped newline.
+		{`already\n`, `already\\n`},
+		// A backslash before a quote: escape each independently.
+		{`\"`, `\\\"`},
+		{"\"\n\\", `\"\n\\`},
+		{"", ``},
+	}
+	for _, c := range cases {
+		if got := promEscape(c.in); got != c.want {
+			t.Errorf("promEscape(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+// TestWritePrometheusHostileLabelsGolden renders a registry whose label
+// values contain every escape-worthy character and pins the exact
+// exposition output.
+func TestWritePrometheusHostileLabelsGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hostile_total", L("path", `C:\temp\x`)).Inc()
+	r.Counter("hostile_total", L("path", "two\nlines")).Add(2)
+	r.Counter("hostile_total", L("path", `quote "q" end`)).Add(3)
+	r.Counter("hostile_total", L("path", "mix\\\"\n")).Add(4)
+	var b strings.Builder
+	if err := WritePrometheus(&b, r); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE hostile_total counter
+hostile_total{path="C:\\temp\\x"} 1
+hostile_total{path="mix\\\"\n"} 4
+hostile_total{path="quote \"q\" end"} 3
+hostile_total{path="two\nlines"} 2
+`
+	if b.String() != want {
+		t.Errorf("hostile-label exposition:\n%s\nwant:\n%s", b.String(), want)
+	}
+	// No raw newline may survive inside a sample line.
+	for _, line := range strings.Split(strings.TrimSuffix(b.String(), "\n"), "\n") {
+		if !strings.HasPrefix(line, "#") && !strings.Contains(line, "hostile_total{") {
+			t.Errorf("label newline leaked into exposition line %q", line)
+		}
 	}
 }
 

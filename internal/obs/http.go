@@ -17,14 +17,32 @@ func Handler(r *Registry) http.Handler {
 	})
 }
 
+// FlightHandler returns an http.Handler serving the flight recorder
+// snapshot as JSON — the /debug/flightrecorder endpoint. A nil recorder
+// serves an empty (but valid) snapshot, so the route exists whether or
+// not recording is on.
+func FlightHandler(fr *FlightRecorder) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = fr.WriteJSON(w) // client went away; nothing useful to do
+	})
+}
+
 // DebugMux builds the debug endpoint surface the -debug-addr flag serves:
 // /metrics in Prometheus format plus the standard net/http/pprof handlers
 // under /debug/pprof/. The pprof handlers are registered explicitly on a
 // private mux (importing net/http/pprof for its side effect would pollute
 // http.DefaultServeMux for every embedder).
 func DebugMux(r *Registry) *http.ServeMux {
+	return DebugMuxWith(r, nil)
+}
+
+// DebugMuxWith is DebugMux plus the /debug/flightrecorder endpoint
+// backed by fr (nil fr serves an empty snapshot).
+func DebugMuxWith(r *Registry, fr *FlightRecorder) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", Handler(r))
+	mux.Handle("/debug/flightrecorder", FlightHandler(fr))
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -45,11 +63,17 @@ type DebugServer struct {
 // StartDebugServer binds addr (e.g. "localhost:6060" or ":0") and serves
 // DebugMux(r) in a background goroutine until Close.
 func StartDebugServer(addr string, r *Registry) (*DebugServer, error) {
+	return StartDebugServerWith(addr, r, nil)
+}
+
+// StartDebugServerWith is StartDebugServer with a flight recorder wired
+// into /debug/flightrecorder (nil fr serves an empty snapshot).
+func StartDebugServerWith(addr string, r *Registry, fr *FlightRecorder) (*DebugServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: debug server listen %s: %w", addr, err)
 	}
-	srv := &http.Server{Handler: DebugMux(r)}
+	srv := &http.Server{Handler: DebugMuxWith(r, fr)}
 	ds := &DebugServer{Addr: ln.Addr().String(), srv: srv, ln: ln}
 	go func() {
 		_ = srv.Serve(ln) // returns http.ErrServerClosed on Close

@@ -214,6 +214,62 @@ func TestMergeAddsCountersAndHistograms(t *testing.T) {
 	}
 }
 
+// TestMergeDisjointAndOverlappingLabelSets: merging registries whose
+// (name, labels) identities partially overlap must add the overlapping
+// series (down to histogram buckets) and copy the disjoint ones.
+func TestMergeDisjointAndOverlappingLabelSets(t *testing.T) {
+	dst := NewRegistry()
+	dst.Counter("hits_total", L("policy", "lru")).Add(3)
+	dst.Counter("hits_total", L("policy", "2q")).Add(5)
+	dh := dst.Histogram("lat", L("policy", "lru"))
+	dh.Observe(1)
+	dh.Observe(3)
+
+	src := NewRegistry()
+	src.Counter("hits_total", L("policy", "lru")).Add(4)      // overlaps
+	src.Counter("hits_total", L("policy", "clockpro")).Add(9) // disjoint
+	sh := src.Histogram("lat", L("policy", "lru"))            // overlaps
+	sh.Observe(3)
+	sh.Observe(100)
+	src.Histogram("lat", L("policy", "2q")).Observe(7) // disjoint
+
+	dst.Merge(src)
+
+	if got := dst.Counter("hits_total", L("policy", "lru")).Value(); got != 7 {
+		t.Errorf("overlapping counter = %d, want 7", got)
+	}
+	if got := dst.Counter("hits_total", L("policy", "2q")).Value(); got != 5 {
+		t.Errorf("dst-only counter = %d, want 5 (untouched)", got)
+	}
+	if got := dst.Counter("hits_total", L("policy", "clockpro")).Value(); got != 9 {
+		t.Errorf("src-only counter = %d, want 9 (copied)", got)
+	}
+	merged := dst.Histogram("lat", L("policy", "lru"))
+	if merged.Count() != 4 || merged.Sum() != 107 {
+		t.Errorf("overlapping histogram count=%d sum=%g, want 4 and 107", merged.Count(), merged.Sum())
+	}
+	if got := dst.Histogram("lat", L("policy", "2q")).Count(); got != 1 {
+		t.Errorf("src-only histogram count = %d, want 1 (copied)", got)
+	}
+	// Bucket-level check on the overlapping histogram: 1 → bucket le=2,
+	// 3+3 → bucket le=4, 100 → bucket le=128.
+	for _, s := range dst.Snapshot() {
+		if s.Kind != KindHistogram || len(s.Labels) == 0 || s.Labels[0].Value != "lru" {
+			continue
+		}
+		got := map[float64]uint64{}
+		for _, b := range s.Buckets {
+			got[b.UpperBound] = b.Count
+		}
+		want := map[float64]uint64{2: 1, 4: 2, 128: 1}
+		for ub, n := range want {
+			if got[ub] != n {
+				t.Errorf("merged bucket le=%g count = %d, want %d", ub, got[ub], n)
+			}
+		}
+	}
+}
+
 // TestRegistryConcurrentMergeExport drives two goroutines merging replica
 // registries into one destination while a third continuously snapshots
 // and renders it; run under -race this exercises the Merge/export locking

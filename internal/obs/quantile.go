@@ -1,0 +1,73 @@
+package obs
+
+import "math"
+
+// Quantile estimation over the log-bucketed histograms. The fixed
+// power-of-two buckets locate an observation only to within a factor of
+// two; interpolating the rank linearly in log space inside the landing
+// bucket recovers a point estimate whose worst-case relative error is
+// bounded by the bucket ratio — good enough for the p50/p95/p99 latency
+// lines the CLIs print, without per-observation storage.
+
+// Quantile estimates the q-th quantile (q in [0,1]) of a histogram
+// sample from its buckets. Within the bucket the requested rank lands
+// in, the value is interpolated geometrically between the bucket edges
+// (linearly for the first bucket, whose lower edge is zero). The +Inf
+// tail bucket has no finite upper edge, so ranks landing there report
+// its lower edge. Non-histogram or empty samples report zero.
+func (s Sample) Quantile(q float64) float64 {
+	if s.Kind != KindHistogram || s.Count == 0 || len(s.Buckets) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	cum := 0.0
+	for i, b := range s.Buckets {
+		inBucket := float64(b.Count)
+		if rank > cum+inBucket && i < len(s.Buckets)-1 {
+			cum += inBucket
+			continue
+		}
+		if math.IsInf(b.UpperBound, 1) {
+			return histLowerEdge(b.UpperBound)
+		}
+		frac := (rank - cum) / inBucket
+		if frac < 0 {
+			frac = 0
+		}
+		if frac > 1 {
+			frac = 1
+		}
+		lo := histLowerEdge(b.UpperBound)
+		if lo <= 0 {
+			return b.UpperBound * frac
+		}
+		return lo * math.Pow(b.UpperBound/lo, frac)
+	}
+	return 0 // unreachable: the loop always returns from its last bucket
+}
+
+// histLowerEdge returns the inclusive lower edge of the bucket with the
+// given exclusive upper bound: 0 for the first bucket (v < 1), half the
+// bound for the power-of-two buckets, and the last finite edge for the
+// +Inf tail.
+func histLowerEdge(upperBound float64) float64 {
+	if math.IsInf(upperBound, 1) {
+		return math.Pow(2, float64(histBuckets-2))
+	}
+	if upperBound <= 1 {
+		return 0
+	}
+	return upperBound / 2
+}
+
+// Percentiles returns the p50, p95, and p99 estimates of a histogram
+// sample — the trio the CLIs print for latency series.
+func (s Sample) Percentiles() (p50, p95, p99 float64) {
+	return s.Quantile(0.50), s.Quantile(0.95), s.Quantile(0.99)
+}

@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func histSample(values ...float64) Sample {
+	r := NewRegistry()
+	h := r.Histogram("h")
+	for _, v := range values {
+		h.Observe(v)
+	}
+	for _, s := range r.Snapshot() {
+		if s.Kind == KindHistogram {
+			return s
+		}
+	}
+	return Sample{}
+}
+
+func TestQuantileDegenerateInputs(t *testing.T) {
+	if got := (Sample{Kind: KindCounter}).Quantile(0.5); got != 0 {
+		t.Errorf("counter quantile = %g, want 0", got)
+	}
+	if got := histSample().Quantile(0.5); got != 0 {
+		t.Errorf("empty histogram quantile = %g, want 0", got)
+	}
+}
+
+func TestQuantileSingleBucket(t *testing.T) {
+	// All mass in one power-of-two bucket [4,8): every quantile must land
+	// inside that bucket's edges.
+	s := histSample(5, 5, 5, 5)
+	for _, q := range []float64{0, 0.25, 0.5, 0.99, 1} {
+		got := s.Quantile(q)
+		if got < 4 || got > 8 {
+			t.Errorf("Quantile(%g) = %g, outside landing bucket [4,8]", q, got)
+		}
+	}
+	// Quantiles are monotone in q.
+	prev := math.Inf(-1)
+	for _, q := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
+		got := s.Quantile(q)
+		if got < prev {
+			t.Errorf("Quantile(%g) = %g < previous %g; not monotone", q, got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestQuantileFirstBucketLinear(t *testing.T) {
+	// Bucket 0 is [0,1) with a zero lower edge, interpolated linearly.
+	s := histSample(0.1, 0.2, 0.3, 0.4)
+	if got := s.Quantile(0.5); got != 0.5 {
+		t.Errorf("first-bucket median = %g, want 0.5 (linear midpoint of [0,1))", got)
+	}
+	if got := s.Quantile(1); got != 1 {
+		t.Errorf("first-bucket max = %g, want the bucket's upper edge 1", got)
+	}
+}
+
+func TestQuantileLogInterpolation(t *testing.T) {
+	// Half the mass below 2, half in [2,4): the p75 rank lands halfway
+	// through the [2,4) bucket, so log interpolation gives 2·2^0.5.
+	s := histSample(1, 1, 3, 3)
+	want := 2 * math.Sqrt2
+	if got := s.Quantile(0.75); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Quantile(0.75) = %g, want %g", got, want)
+	}
+}
+
+func TestQuantileInfTailReportsLowerEdge(t *testing.T) {
+	s := histSample(math.MaxFloat64)
+	want := math.Pow(2, float64(histBuckets-2))
+	if got := s.Quantile(0.5); got != want {
+		t.Errorf("+Inf-tail quantile = %g, want the tail lower edge %g", got, want)
+	}
+	if math.IsInf(s.Quantile(1), 1) {
+		t.Error("quantile reported +Inf; must stay finite")
+	}
+}
+
+func TestQuantileClampsArgument(t *testing.T) {
+	s := histSample(1, 2, 3)
+	if got, lo := s.Quantile(-3), s.Quantile(0); got != lo {
+		t.Errorf("Quantile(-3) = %g, want Quantile(0) = %g", got, lo)
+	}
+	if got, hi := s.Quantile(7), s.Quantile(1); got != hi {
+		t.Errorf("Quantile(7) = %g, want Quantile(1) = %g", got, hi)
+	}
+}
+
+func TestPercentilesOrdered(t *testing.T) {
+	s := histSample(0.5, 1, 2, 4, 8, 16, 32, 64, 128, 300)
+	p50, p95, p99 := s.Percentiles()
+	if !(p50 <= p95 && p95 <= p99) {
+		t.Errorf("percentiles not ordered: p50=%g p95=%g p99=%g", p50, p95, p99)
+	}
+	if p50 < 2 || p50 > 16 {
+		t.Errorf("p50 = %g, implausible for the sample", p50)
+	}
+	if p99 < 128 || p99 > 512 {
+		t.Errorf("p99 = %g, implausible for the sample", p99)
+	}
+}

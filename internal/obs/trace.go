@@ -1,7 +1,9 @@
 package obs
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
 	"sort"
 	"strings"
 	"sync"
@@ -99,6 +101,17 @@ func (t *Tracer) record(r SpanRecord) {
 	t.spans = append(t.spans, r)
 }
 
+// DroppedSpans returns how many finished spans have been discarded to
+// honor the retention cap. Nil tracers report zero.
+func (t *Tracer) DroppedSpans() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
 // Spans returns a copy of the retained records in completion order, plus
 // how many older records were dropped. Nil tracers return nothing.
 func (t *Tracer) Spans() (spans []SpanRecord, dropped uint64) {
@@ -140,4 +153,57 @@ func (t *Tracer) Text(round time.Duration) string {
 		b.WriteByte('\n')
 	}
 	return b.String()
+}
+
+// WriteText writes the Text timeline to w, prefixed with a one-line
+// retention summary so overflow is visible even when the timeline itself
+// is empty. Nil tracers write nothing.
+func (t *Tracer) WriteText(w io.Writer, round time.Duration) error {
+	if t == nil {
+		return nil
+	}
+	spans, dropped := t.Spans()
+	if _, err := fmt.Fprintf(w, "trace: %d spans retained, %d dropped\n", len(spans), dropped); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, t.Text(round))
+	return err
+}
+
+// jsonSpan is the JSON shape of one span record.
+type jsonSpan struct {
+	Name       string            `json:"name"`
+	Event      bool              `json:"event,omitempty"`
+	Start      time.Time         `json:"start"`
+	DurationNs int64             `json:"duration_ns,omitempty"`
+	Attrs      map[string]string `json:"attrs,omitempty"`
+}
+
+// jsonTrace is the JSON shape of a tracer dump: the retained spans plus
+// the overflow accounting.
+type jsonTrace struct {
+	RetainedSpans int        `json:"retained_spans"`
+	DroppedSpans  uint64     `json:"dropped_spans"`
+	Spans         []jsonSpan `json:"spans"`
+}
+
+// WriteJSON renders the retained spans and the dropped-span count as one
+// JSON object with a trailing newline. Nil tracers render an empty (but
+// valid) dump.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	spans, dropped := t.Spans()
+	out := jsonTrace{RetainedSpans: len(spans), DroppedSpans: dropped, Spans: make([]jsonSpan, 0, len(spans))}
+	for _, r := range spans {
+		js := jsonSpan{Name: r.Name, Event: r.Event, Start: r.Start, DurationNs: r.Duration.Nanoseconds()}
+		if len(r.Attrs) > 0 {
+			js.Attrs = make(map[string]string, len(r.Attrs))
+			for _, a := range r.Attrs {
+				js.Attrs[a.Key] = a.Value
+			}
+		}
+		out.Spans = append(out.Spans, js)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }

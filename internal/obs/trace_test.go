@@ -1,6 +1,8 @@
 package obs
 
 import (
+	"encoding/json"
+	"fmt"
 	"strings"
 	"sync"
 	"testing"
@@ -67,6 +69,84 @@ func TestTracerBoundedRetention(t *testing.T) {
 	}
 	if !strings.Contains(tr.Text(0), "older spans dropped") {
 		t.Error("text rendering does not mention dropped spans")
+	}
+}
+
+// TestTracerDroppedSpansExposed drives the tracer past its retention cap
+// and checks the overflow is visible through every surface: the counter,
+// the text report, and the JSON dump.
+func TestTracerDroppedSpansExposed(t *testing.T) {
+	tr := NewTracer(8)
+	tr.clock = fakeClock(time.Unix(0, 0), time.Millisecond)
+	if tr.DroppedSpans() != 0 {
+		t.Errorf("fresh tracer reports %d dropped spans", tr.DroppedSpans())
+	}
+	const recorded = 20
+	for i := 0; i < recorded; i++ {
+		tr.Event("e")
+	}
+	dropped := tr.DroppedSpans()
+	if dropped == 0 {
+		t.Fatal("overflowed tracer reports zero dropped spans")
+	}
+	spans, fromSpans := tr.Spans()
+	if fromSpans != dropped {
+		t.Errorf("Spans() dropped=%d, DroppedSpans()=%d", fromSpans, dropped)
+	}
+	if int(dropped)+len(spans) != recorded {
+		t.Errorf("dropped %d + retained %d != %d recorded", dropped, len(spans), recorded)
+	}
+
+	var text strings.Builder
+	if err := tr.WriteText(&text, 0); err != nil {
+		t.Fatal(err)
+	}
+	wantHeader := fmt.Sprintf("trace: %d spans retained, %d dropped", len(spans), dropped)
+	if !strings.Contains(text.String(), wantHeader) {
+		t.Errorf("WriteText missing %q:\n%s", wantHeader, text.String())
+	}
+
+	var js strings.Builder
+	if err := tr.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	var dump struct {
+		RetainedSpans int    `json:"retained_spans"`
+		DroppedSpans  uint64 `json:"dropped_spans"`
+		Spans         []struct {
+			Name string `json:"name"`
+		} `json:"spans"`
+	}
+	if err := json.Unmarshal([]byte(js.String()), &dump); err != nil {
+		t.Fatalf("WriteJSON output is not valid JSON: %v", err)
+	}
+	if dump.DroppedSpans != dropped || dump.RetainedSpans != len(spans) || len(dump.Spans) != len(spans) {
+		t.Errorf("JSON dump retained=%d dropped=%d spans=%d, want %d/%d/%d",
+			dump.RetainedSpans, dump.DroppedSpans, len(dump.Spans), len(spans), dropped, len(spans))
+	}
+}
+
+// TestTracerWritersNilSafe: the writer surfaces follow the nil-tracer
+// contract — text writes nothing, JSON writes a valid empty dump.
+func TestTracerWritersNilSafe(t *testing.T) {
+	var tr *Tracer
+	if tr.DroppedSpans() != 0 {
+		t.Error("nil tracer reports dropped spans")
+	}
+	var text strings.Builder
+	if err := tr.WriteText(&text, 0); err != nil || text.Len() != 0 {
+		t.Errorf("nil WriteText = (%q, %v), want empty and nil", text.String(), err)
+	}
+	var js strings.Builder
+	if err := tr.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	var dump map[string]any
+	if err := json.Unmarshal([]byte(js.String()), &dump); err != nil {
+		t.Fatalf("nil WriteJSON output invalid: %v", err)
+	}
+	if dump["retained_spans"].(float64) != 0 || dump["dropped_spans"].(float64) != 0 {
+		t.Errorf("nil tracer JSON dump not empty: %v", dump)
 	}
 }
 

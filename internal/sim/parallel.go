@@ -60,6 +60,9 @@ func RunPreparedParallel(g *Geometry, w Workload, cfg Config) (Result, error) {
 	if workers <= 1 {
 		return RunPrepared(g, w, cfg)
 	}
+	if cfg.Monitor != nil {
+		return Result{}, fmt.Errorf("sim: Monitor requires a serial run (Workers <= 1), got %d workers", workers)
+	}
 
 	// Each replica writes only its own slot; the WaitGroup is the only
 	// synchronization, so no lock is ever held across simulation work.

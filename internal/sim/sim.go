@@ -25,6 +25,7 @@ import (
 
 	"rtreebuf/internal/buffer"
 	"rtreebuf/internal/geom"
+	"rtreebuf/internal/monitor"
 	"rtreebuf/internal/obs"
 	"rtreebuf/internal/stats"
 )
@@ -159,6 +160,14 @@ type Config struct {
 	// order after the join, so enabling metrics adds no locking to the
 	// query loop.
 	Metrics *obs.Registry
+	// Monitor, when non-nil, is ticked once per measured query and
+	// rebased at the warm-up boundary, so its windows track steady state.
+	// It requires Metrics (the monitor reads the buffer counters the
+	// metrics mirror maintains, so both must share one registry) and a
+	// serial run (Workers <= 1): the monitor compares one buffer's
+	// counters against the model, which replica splitting would smear.
+	// Like Metrics, it never feeds back into the simulation.
+	Monitor *monitor.Monitor
 }
 
 func (c Config) withDefaults() Config {
@@ -348,6 +357,14 @@ func runReplica(g *Geometry, w Workload, cfg Config, replica, batches int) (repl
 		queryNodesHist = cfg.Metrics.Histogram("sim_query_nodes")
 	)
 
+	// The drift monitor is serial by contract: only the replica whose
+	// stream equals the serial reference feeds it, so a monitored run is
+	// deterministic and compares one buffer against the model.
+	mon := cfg.Monitor
+	if replica != 0 {
+		mon = nil
+	}
+
 	rr := replicaResult{
 		diskBatch: make([]float64, batches), //lint:allow hotalloc per-replica batch accumulators
 		nodeBatch: make([]float64, batches), //lint:allow hotalloc per-replica batch accumulators
@@ -360,6 +377,10 @@ func runReplica(g *Geometry, w Workload, cfg Config, replica, batches int) (repl
 		}
 	}
 	lru.ResetStats()
+	// Rebase after warm-up: the obs counters are cumulative (ResetStats
+	// zeroes only the policy's own stats), so the monitor captures the
+	// post-warm-up counter values as its window baseline.
+	mon.Rebase()
 
 	for b := 0; b < batches; b++ {
 		var disk, nodes int
@@ -369,6 +390,7 @@ func runReplica(g *Geometry, w Workload, cfg Config, replica, batches int) (repl
 			disk += m
 			queriesTotal.Inc()
 			queryNodesHist.Observe(float64(a))
+			mon.OnQuery()
 		}
 		rr.diskBatch[b] = float64(disk) / float64(cfg.BatchSize)
 		rr.nodeBatch[b] = float64(nodes) / float64(cfg.BatchSize)
@@ -409,6 +431,9 @@ func RunPrepared(g *Geometry, w Workload, cfg Config) (Result, error) {
 	cfg = cfg.withDefaults()
 	if cfg.BufferSize < 1 {
 		return Result{}, fmt.Errorf("sim: buffer size %d < 1", cfg.BufferSize)
+	}
+	if cfg.Monitor != nil && cfg.Metrics == nil {
+		return Result{}, fmt.Errorf("sim: Monitor requires Metrics (the monitor reads the buffer counters)")
 	}
 	rr, err := runReplica(g, w, cfg, 0, cfg.Batches)
 	if err != nil {

@@ -1,0 +1,81 @@
+package storage
+
+import (
+	"testing"
+
+	"rtreebuf/internal/geom"
+	"rtreebuf/internal/obs"
+)
+
+// TestFlightRecorderAttributesSearch checks the storage wiring: with a
+// recorder attached, every query becomes one record whose totals agree
+// with the pool's hit/miss accounting and whose per-level attribution
+// starts at the root (level 0, exactly one access per window query).
+func TestFlightRecorderAttributesSearch(t *testing.T) {
+	_, pt := pagedFixture(t, 1200, 16, 10)
+	fr := obs.NewFlightRecorder(64, 8)
+	pt.SetFlightRecorder(fr)
+
+	pt.Pool().ResetStats()
+	const queries = 20
+	for i := 0; i < queries; i++ {
+		q := geom.RectAround(geom.Point{X: float64(i) / queries, Y: 0.5}, 0.05, 0.05)
+		if _, err := pt.SearchWindow(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hits, misses, _ := pt.Pool().Stats()
+
+	snap := fr.Snapshot()
+	if snap.Queries != queries {
+		t.Fatalf("recorded %d queries, want %d", snap.Queries, queries)
+	}
+	var recAccesses, recMisses int
+	for _, r := range snap.Recent {
+		if r.Name != "window" {
+			t.Errorf("query %d named %q, want window", r.ID, r.Name)
+		}
+		recAccesses += r.Accesses
+		recMisses += r.Misses
+		if len(r.Levels) == 0 || r.Levels[0].Accesses != 1 {
+			t.Errorf("query %d root-level accesses = %+v, want exactly 1", r.ID, r.Levels)
+		}
+	}
+	if uint64(recAccesses) != hits+misses || uint64(recMisses) != misses {
+		t.Errorf("recorder totals accesses=%d misses=%d, pool says %d and %d",
+			recAccesses, recMisses, hits+misses, misses)
+	}
+
+	// Nearest queries are recorded under their own name.
+	if _, err := pt.Nearest(geom.Point{X: 0.5, Y: 0.5}, 3); err != nil {
+		t.Fatal(err)
+	}
+	snap = fr.Snapshot()
+	last := snap.Recent[len(snap.Recent)-1]
+	if last.Name != "nearest" || last.Results != 3 || last.Accesses == 0 {
+		t.Errorf("nearest record = %+v", last)
+	}
+}
+
+// TestFlightRecorderIdenticalResults: attaching a recorder must not
+// change what a query returns.
+func TestFlightRecorderIdenticalResults(t *testing.T) {
+	tr, pt := pagedFixture(t, 800, 16, 10)
+	pt.SetFlightRecorder(obs.NewFlightRecorder(16, 4))
+	q := geom.RectAround(geom.Point{X: 0.4, Y: 0.6}, 0.1, 0.1)
+	got, err := pt.SearchWindow(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameIDs(got, tr.SearchWindow(q)) {
+		t.Fatal("recorded search returned different results")
+	}
+	pt.SetFlightRecorder(nil) // detaching works too
+	got, err = pt.SearchWindow(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameIDs(got, tr.SearchWindow(q)) {
+		t.Fatal("detached search returned different results")
+	}
+}

@@ -9,6 +9,7 @@ import (
 
 	"rtreebuf/internal/buffer"
 	"rtreebuf/internal/geom"
+	"rtreebuf/internal/obs"
 	"rtreebuf/internal/rtree"
 )
 
@@ -357,6 +358,11 @@ type PagedTree struct {
 	pool buffer.PagePool
 	meta TreeMeta
 
+	// fr, when attached, records per-query access attribution (nil — the
+	// default — is the disabled recorder; the query paths call it
+	// unconditionally with zero overhead).
+	fr *obs.FlightRecorder
+
 	// Update-path state, nil/zero on read-only trees (OpenPagedTree).
 	wal       *WAL             // write-ahead log; non-nil enables Insert/Delete
 	ckpt      CheckpointPolicy // when to truncate the log
@@ -419,6 +425,12 @@ func (pt *PagedTree) Meta() TreeMeta { return pt.meta }
 // Pool exposes the underlying buffer pool (for statistics and pinning).
 func (pt *PagedTree) Pool() buffer.PagePool { return pt.pool }
 
+// SetFlightRecorder attaches (or with nil detaches) the query-path
+// flight recorder. Recording only observes the pool's per-access
+// attribution — it never changes which pages a query reads or what it
+// returns.
+func (pt *PagedTree) SetFlightRecorder(fr *obs.FlightRecorder) { pt.fr = fr }
+
 // PinLevels pins the top n levels of the tree in the buffer, the policy
 // studied in Section 5.5. On a level-order tree level pages are
 // contiguous, so this pins pages [0, pages(level<n)); on an updated
@@ -476,7 +488,10 @@ func (pt *PagedTree) pinWalk(page, depth, n int) error {
 // search issues page requests).
 func (pt *PagedTree) SearchWindow(q geom.Rect) ([]rtree.Item, error) {
 	var out []rtree.Item
-	err := pt.search(0, q, &out)
+	aq := pt.fr.Begin("window")
+	err := pt.search(0, 0, q, &out, aq)
+	aq.SetResults(len(out))
+	aq.End()
 	return out, err
 }
 
@@ -550,6 +565,7 @@ func (pt *PagedTree) Nearest(p geom.Point, k int) ([]rtree.Neighbor, error) {
 	type queued struct {
 		distSq float64
 		page   int // valid when item is false
+		depth  int // tree level of page, for access attribution
 		isItem bool
 		item   rtree.Item
 	}
@@ -589,6 +605,7 @@ func (pt *PagedTree) Nearest(p geom.Point, k int) ([]rtree.Neighbor, error) {
 		return top
 	}
 
+	aq := pt.fr.Begin("nearest")
 	push(queued{page: 0})
 	var out []rtree.Neighbor
 	for len(h) > 0 && len(out) < k {
@@ -597,12 +614,15 @@ func (pt *PagedTree) Nearest(p geom.Point, k int) ([]rtree.Neighbor, error) {
 			out = append(out, rtree.Neighbor{Item: e.item, Dist: math.Sqrt(e.distSq)})
 			continue
 		}
-		frame, err := pt.pool.Get(e.page)
+		frame, info, err := pt.pool.GetTracked(e.page)
+		aq.Access(e.depth, info.Hit, info.WriteBacks)
 		if err != nil {
+			aq.End()
 			return nil, err
 		}
 		nd, err := DecodeNode(frame, e.page)
 		if err != nil {
+			aq.End()
 			return nil, err
 		}
 		for i, r := range nd.Rects {
@@ -610,10 +630,12 @@ func (pt *PagedTree) Nearest(p geom.Point, k int) ([]rtree.Neighbor, error) {
 			if nd.Leaf {
 				push(queued{distSq: d, isItem: true, item: rtree.Item{Rect: r, ID: nd.IDs[i]}})
 			} else {
-				push(queued{distSq: d, page: nd.Children[i]})
+				push(queued{distSq: d, page: nd.Children[i], depth: e.depth + 1})
 			}
 		}
 	}
+	aq.SetResults(len(out))
+	aq.End()
 	return out, nil
 }
 
@@ -685,8 +707,9 @@ func (pt *PagedTree) scanLeavesWalk(page int, visit func(rtree.Item) error) erro
 	return nil
 }
 
-func (pt *PagedTree) search(page int, q geom.Rect, out *[]rtree.Item) error {
-	frame, err := pt.pool.Get(page)
+func (pt *PagedTree) search(page, depth int, q geom.Rect, out *[]rtree.Item, aq *obs.ActiveQuery) error {
+	frame, info, err := pt.pool.GetTracked(page)
+	aq.Access(depth, info.Hit, info.WriteBacks)
 	if err != nil {
 		return err
 	}
@@ -700,7 +723,7 @@ func (pt *PagedTree) search(page int, q geom.Rect, out *[]rtree.Item) error {
 		}
 		if nd.Leaf {
 			*out = append(*out, rtree.Item{Rect: r, ID: nd.IDs[i]})
-		} else if err := pt.search(nd.Children[i], q, out); err != nil {
+		} else if err := pt.search(nd.Children[i], depth+1, q, out, aq); err != nil {
 			return err
 		}
 	}
